@@ -1,0 +1,227 @@
+// Command greensched regenerates the paper's evaluation artifacts:
+//
+//	greensched placement [-seed N] [-static]   Table I/II, Figures 2-5 (§IV-A)
+//	greensched greenperf [-seed N]             Figures 6-7, Table III  (§IV-B)
+//	greensched adaptive  [-seed N]             Figures 8-9             (§IV-C)
+//	greensched replicate [-seeds N]            Table II across seeds, mean ± CI
+//	greensched all       [-seed N]             everything above
+//
+// Output is written to stdout as ASCII tables/figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"greensched/internal/cluster"
+	"greensched/internal/experiments"
+	"greensched/internal/sched"
+	"greensched/internal/sim"
+	"greensched/internal/trace"
+	"greensched/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "deterministic simulation seed")
+	static := fs.Bool("static", false, "use the static (initial benchmark) estimation approach instead of dynamic learning")
+	csvDir := fs.String("csv", "", "also export figure data as CSV files into this directory")
+	traceFile := fs.String("trace", "", "replay: submission trace file (submit_seconds,ops[,preference] lines)")
+	seeds := fs.Int("seeds", 10, "replicate: number of independent seeds")
+	policyName := fs.String("policy", "GREENPERF", "replay: scheduling policy (RANDOM|POWER|PERFORMANCE|GREENPERF)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	var err error
+	switch cmd {
+	case "placement":
+		err = runPlacement(*seed, *static, *csvDir)
+	case "greenperf":
+		err = runGreenPerf(*seed)
+	case "adaptive":
+		err = runAdaptive(*seed, *csvDir)
+	case "extensions":
+		err = experiments.RenderExtensions(os.Stdout, *seed)
+	case "replicate":
+		err = runReplicate(*seed, *seeds, *static)
+	case "consolidation":
+		cfg := experiments.DefaultConsolidationConfig()
+		cfg.Seed = *seed
+		var res *experiments.ConsolidationResult
+		if res, err = experiments.RunConsolidation(cfg); err == nil {
+			err = res.Render(os.Stdout)
+		}
+	case "replay":
+		err = runReplay(*traceFile, *policyName, *seed)
+	case "all":
+		if err = runPlacement(*seed, *static, *csvDir); err == nil {
+			fmt.Println()
+			if err = runGreenPerf(*seed); err == nil {
+				fmt.Println()
+				if err = runAdaptive(*seed, *csvDir); err == nil {
+					fmt.Println()
+					err = experiments.RenderExtensions(os.Stdout, *seed)
+				}
+			}
+		}
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "greensched: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "greensched: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runPlacement(seed int64, static bool, csvDir string) error {
+	cfg := experiments.DefaultPlacementConfig()
+	cfg.Seed = seed
+	cfg.Static = static
+	res, err := experiments.RunPlacement(cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		return err
+	}
+	if csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	nodes := make([]string, 0, len(res.Platform.Nodes))
+	for _, n := range res.Platform.Nodes {
+		nodes = append(nodes, n.Name)
+	}
+	files := map[string]string{
+		"fig2_power_tasks.csv":       trace.TasksPerNodeCSV(res.Runs[sched.Power], nodes),
+		"fig3_performance_tasks.csv": trace.TasksPerNodeCSV(res.Runs[sched.Performance], nodes),
+		"fig4_random_tasks.csv":      trace.TasksPerNodeCSV(res.Runs[sched.Random], nodes),
+		"fig5_power_energy.csv":      trace.ClusterEnergyCSV(res.Runs[sched.Power], res.Platform.Clusters()),
+		"fig5_random_energy.csv":     trace.ClusterEnergyCSV(res.Runs[sched.Random], res.Platform.Clusters()),
+	}
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(csvDir, name), []byte(data), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nCSV exports written to %s\n", csvDir)
+	return nil
+}
+
+func runReplay(traceFile, policyName string, seed int64) error {
+	if traceFile == "" {
+		return fmt.Errorf("replay needs -trace FILE")
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tasks, err := workload.ParseTrace(f)
+	if err != nil {
+		return err
+	}
+	kind := sched.Kind(policyName)
+	switch kind {
+	case sched.Random, sched.Power, sched.Performance, sched.GreenPerf, sched.LeastLoaded:
+	default:
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+	platform := cluster.PaperPlatform()
+	res, err := sim.Run(sim.Config{
+		Platform:   platform,
+		Policy:     sched.New(kind),
+		Tasks:      tasks,
+		Explore:    kind != sched.Random,
+		Contention: 0.08,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d tasks under %s on the Table I platform\n", res.Completed, res.Policy)
+	fmt.Printf("makespan: %.0f s   energy: %.0f J   mean wait: %.1f s\n",
+		res.Makespan, res.EnergyJ, res.MeanWait())
+	for _, cl := range platform.Clusters() {
+		fmt.Printf("  %-12s %4d tasks  %12.0f J\n", cl, res.PerClusterTasks[cl], res.PerClusterEnergy[cl])
+	}
+	return nil
+}
+
+func runReplicate(firstSeed int64, seeds int, static bool) error {
+	cfg := experiments.DefaultReplicationConfig()
+	cfg.FirstSeed = firstSeed
+	cfg.Seeds = seeds
+	cfg.Base.Static = static
+	res, err := experiments.RunReplication(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
+}
+
+func runGreenPerf(seed int64) error {
+	cfg := experiments.DefaultMetricConfig()
+	cfg.Seed = seed
+	return experiments.RenderMetricStudy(cfg, os.Stdout)
+}
+
+func runAdaptive(seed int64, csvDir string) error {
+	cfg := experiments.DefaultAdaptiveConfig()
+	cfg.Seed = seed
+	if err := experiments.RenderAdaptive(cfg, os.Stdout); err != nil {
+		return err
+	}
+	if csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	res, err := experiments.RunAdaptive(cfg)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(csvDir, "fig9_adaptive.csv")
+	if err := os.WriteFile(path, []byte(trace.AdaptiveCSV(res)), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nCSV export written to %s\n", path)
+	return nil
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: greensched <command> [flags]
+
+commands:
+  placement   §IV-A workload placement: Table I, Figures 2-5, Table II
+  greenperf   §IV-B metric study: Figures 6-7, Table III
+  adaptive    §IV-C adaptive provisioning: Figures 8-9
+  extensions  preference sweep + tariff-following provisioning
+  replicate   Table II across seeds: mean ± CI, Welch tests (-seeds N)
+  consolidation  related-work baseline: idle shutdown vs always-on
+  replay      schedule an external trace (-trace FILE [-policy P])
+  all         run every experiment
+
+flags:
+  -seed N     deterministic simulation seed (default 1)
+  -seeds N    replicate only: number of independent seeds (default 10)
+  -static     placement / replicate: static estimation ablation
+  -csv DIR    also export figure data as CSV files
+`)
+}

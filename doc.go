@@ -1,0 +1,35 @@
+// Package greensched reproduces "Energy-Aware Server Provisioning by
+// Introducing Middleware-Level Dynamic Green Scheduling"
+// (Balouek-Thomert, Caron, Lefèvre — HPPAC/IPDPSW 2015): the GreenPerf
+// metric, the provider/user preference model, score-based server
+// election, Algorithm 1 candidate selection, and a DIET-style
+// middleware with plug-in schedulers, together with the simulation
+// substrate and harnesses that regenerate every table and figure of
+// the paper's evaluation.
+//
+// Layout:
+//
+//	internal/core           the paper's contribution (GreenPerf, Eq. 1-6, Algorithm 1)
+//	internal/middleware     live DIET-style hierarchy (in-process and TCP)
+//	internal/sim            deterministic discrete-event simulator with a
+//	                        generic power-management control hook
+//	internal/consolidation  related-work baseline: concentration + idle shutdown
+//	internal/analysis       Student-t / Welch statistics for multi-seed replication
+//	internal/experiments    one harness per table/figure + extension studies
+//	cmd/greensched          CLI to regenerate the evaluation
+//	cmd/greenplan           provisioning-plan (Figure 8 XML) utility
+//	examples/               runnable walkthroughs
+//
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
+// results. The root package intentionally exposes only metadata; the
+// implementation lives in the internal packages exercised by the
+// benchmarks in bench_test.go.
+package greensched
+
+// Version is the library version.
+const Version = "1.0.0"
+
+// Paper identifies the reproduced publication.
+const Paper = "Balouek-Thomert, Caron, Lefèvre: Energy-Aware Server Provisioning by " +
+	"Introducing Middleware-Level Dynamic Green Scheduling. HPPAC/IPDPSW 2015, " +
+	"DOI 10.1109/IPDPSW.2015.121"

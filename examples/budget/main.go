@@ -1,0 +1,69 @@
+// Budget-constrained scheduling (the paper's §V future work): an
+// energy budget over a planning horizon steers the effective user
+// preference. While consumption tracks the linear burn-down the
+// scheduler ranks by energy-delay product; as soon as spending runs
+// ahead, the ranking slides toward maximum energy efficiency, and an
+// enforcer rejects work once the budget is gone.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"greensched/internal/budget"
+	"greensched/internal/core"
+	"greensched/internal/estvec"
+)
+
+func main() {
+	// 2 MJ to spend over one hour.
+	tracker, err := budget.NewTracker(2e6, 3600)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	now := 0.0
+	policy, err := budget.NewPolicy(tracker, core.PrefNone, 1e12, func() float64 { return now })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enforcer := budget.Enforcer{Tracker: tracker}
+
+	fast := estvec.New("fast-hungry").
+		Set(estvec.TagFlops, 10e9).Set(estvec.TagPowerW, 400).SetBool(estvec.TagActive, true)
+	lean := estvec.New("slow-lean").
+		Set(estvec.TagFlops, 2e9).Set(estvec.TagPowerW, 60).SetBool(estvec.TagActive, true)
+
+	pick := func() string {
+		if policy.Less(fast, lean) {
+			return "fast-hungry"
+		}
+		return "slow-lean"
+	}
+
+	fmt.Printf("%8s %12s %10s %8s  %s\n", "t (s)", "spent (J)", "burn err", "pref", "election")
+	for _, step := range []struct {
+		t     float64
+		spend float64
+	}{
+		{0, 0},
+		{600, 250e3},  // well under budget
+		{1200, 450e3}, // on track
+		{1800, 600e3}, // now ahead of the burn-down
+		{2400, 500e3}, // far ahead
+		{3000, 300e3},
+	} {
+		now = step.t
+		tracker.Charge(now, step.spend)
+		if err := enforcer.Admit(); err != nil {
+			fmt.Printf("%8.0f %12.0f %10s %8s  rejected: %v\n",
+				now, tracker.Spent(), "-", "-", err)
+			continue
+		}
+		pref := policy.Pref.At(now)
+		fmt.Printf("%8.0f %12.0f %+10.2f %+8.2f  %s\n",
+			now, tracker.Spent(), tracker.BurnError(now), float64(pref), pick())
+	}
+	fmt.Printf("\nremaining budget: %.0f J\n", tracker.Remaining())
+}

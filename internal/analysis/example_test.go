@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"greensched/internal/analysis"
+)
+
+func ExampleSummarize() {
+	energies := []float64{5.66e6, 5.71e6, 5.64e6, 5.69e6, 5.70e6}
+	s, err := analysis.Summarize(energies)
+	if err != nil {
+		panic(err)
+	}
+	lo, hi := s.CI(0.95)
+	fmt.Printf("mean %.3g J, 95%% CI [%.3g, %.3g]\n", s.Mean, lo, hi)
+	// Output: mean 5.68e+06 J, 95% CI [5.64e+06, 5.72e+06]
+}
+
+func ExampleWelchT() {
+	power, _ := analysis.Summarize([]float64{5.66, 5.71, 5.64, 5.69, 5.70})
+	random, _ := analysis.Summarize([]float64{7.38, 7.41, 7.36, 7.42, 7.40})
+	r, err := analysis.WelchT(power, random)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("separated: %v\n", r.P < 0.001)
+	// Output: separated: true
+}
+
+func ExampleLinearFit() {
+	het := []float64{0.04, 0.11, 0.23, 0.36, 0.51}
+	spread := []float64{0.9, 1.6, 2.4, 11.5, 15.3}
+	fit, err := analysis.LinearFit(het, spread)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("slope positive: %v\n", fit.Slope > 0)
+	// Output: slope positive: true
+}

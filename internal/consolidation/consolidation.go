@@ -1,0 +1,198 @@
+// Package consolidation implements the related-work baseline the
+// paper positions itself against (§II-B): load concentration with idle
+// shutdown, in the style of Hermenier et al. [11] and the Green Open
+// Cloud architecture of Orgerie & Lefèvre [12].
+//
+// It has two cooperating halves:
+//
+//   - Policy, a plug-in scheduler that concentrates tasks onto the
+//     fewest nodes (most-loaded-but-not-full first) — energy-blind
+//     placement, unlike GreenPerf;
+//   - Controller, a sim.Control client that powers nodes off after an
+//     idle timeout and back on when unplaced requests build up.
+//
+// Together they save energy on under-utilized platforms exactly where
+// GreenPerf alone cannot: GreenPerf reduces the draw of the *active*
+// servers but leaves idle servers burning their idle floor, which the
+// paper itself concedes in §IV-C by resorting to shutdowns. The
+// extension experiment (experiments.RunConsolidation) quantifies both
+// effects and their combination.
+package consolidation
+
+import (
+	"fmt"
+
+	"greensched/internal/estvec"
+	"greensched/internal/power"
+	"greensched/internal/sched"
+	"greensched/internal/sim"
+)
+
+// PolicyName identifies the concentration policy in reports.
+const PolicyName = "CONSOLIDATION"
+
+// Policy orders servers for load concentration: the most loaded
+// not-yet-full server first, so new work fills partially busy nodes
+// before opening fresh ones, and whole nodes drain to idle sooner.
+// Ties break toward smaller remaining capacity, then node name, which
+// pins the concentration order and keeps elections deterministic.
+//
+// The ordering is intentionally energy-blind — this is the related-work
+// baseline, not the paper's contribution. Combine it with GreenPerf by
+// wrapping (see GreenTieBreak) to concentrate onto efficient nodes.
+type Policy struct{}
+
+// Name implements sched.Policy.
+func (Policy) Name() string { return PolicyName }
+
+// Less implements sched.Policy.
+func (Policy) Less(a, b *estvec.Vector) bool {
+	ba, bb := busy(a), busy(b)
+	if ba != bb {
+		return ba > bb // more loaded first
+	}
+	fa := a.Value(estvec.TagFreeCores, 0)
+	fb := b.Value(estvec.TagFreeCores, 0)
+	if fa != fb {
+		return fa < fb // tighter fit first
+	}
+	return a.Server < b.Server
+}
+
+// GreenTieBreak concentrates like Policy but breaks load ties by
+// GreenPerf ratio instead of name — the natural composition of the
+// related-work baseline with the paper's metric.
+type GreenTieBreak struct{}
+
+// Name implements sched.Policy.
+func (GreenTieBreak) Name() string { return "CONSOLIDATION+GREENPERF" }
+
+// Less implements sched.Policy.
+func (GreenTieBreak) Less(a, b *estvec.Vector) bool {
+	ba, bb := busy(a), busy(b)
+	if ba != bb {
+		return ba > bb
+	}
+	less := estvec.ByTagAsc(estvec.TagGreenPerf,
+		estvec.ByTagDesc(estvec.TagFlops, estvec.ByServerName))
+	return less(a, b)
+}
+
+func busy(v *estvec.Vector) float64 {
+	cores := v.Value(sched.TagCores(), 0)
+	free := v.Value(estvec.TagFreeCores, 0)
+	if cores <= 0 {
+		// No capacity tag: treat occupied as busy=1, free as busy=0.
+		if free > 0 {
+			return 0
+		}
+		return 1
+	}
+	return cores - free
+}
+
+// Controller is an idle-timeout power manager driven by the
+// sim.Config.OnControl hook.
+type Controller struct {
+	// IdleTimeout powers a node off after this much workless time
+	// (seconds). Must be positive.
+	IdleTimeout float64
+	// MinOn is the number of candidate nodes always kept available
+	// (≥1; the grid must keep answering requests — §II-B notes
+	// management tools treat powered-off resources as failures, so a
+	// floor is operationally mandatory).
+	MinOn int
+
+	// WakeSlack powers on this many extra slots beyond the observed
+	// unplaced backlog (0 = exact match). Slack trades energy for
+	// reaction time on bursty arrivals.
+	WakeSlack int
+}
+
+// Validate checks the controller parameters.
+func (c *Controller) Validate() error {
+	if c.IdleTimeout <= 0 {
+		return fmt.Errorf("consolidation: IdleTimeout %v must be positive", c.IdleTimeout)
+	}
+	if c.MinOn < 1 {
+		return fmt.Errorf("consolidation: MinOn %d must be at least 1", c.MinOn)
+	}
+	if c.WakeSlack < 0 {
+		return fmt.Errorf("consolidation: WakeSlack %d must be non-negative", c.WakeSlack)
+	}
+	return nil
+}
+
+// Tick implements the power-management step; install it as
+// sim.Config.OnControl. Wake-ups answer unplaced backlog; shutdowns
+// apply the idle timeout while respecting MinOn.
+func (c *Controller) Tick(now float64, ctl sim.Control) {
+	nodes := ctl.Nodes()
+
+	// How many slots are (or will shortly be) available?
+	availOn := 0
+	for _, n := range nodes {
+		if n.Candidate && n.State.Usable() {
+			availOn++
+		}
+	}
+
+	// Wake path: cover the net backlog (plus slack) with Off nodes, in
+	// platform order for determinism. Backlog is unplaced requests
+	// plus queued tasks; queued work cannot migrate once elected (the
+	// SED keeps its problem, §III-A step 5), but it signals that
+	// *future* arrivals need somewhere to go. Netting out free slots
+	// and capacity already booting is what prevents wake thrash: a
+	// tick must not re-answer pressure the previous tick already paid
+	// a boot for.
+	backlog := ctl.Unplaced()
+	free, inbound := 0, 0
+	for _, n := range nodes {
+		if !n.Candidate {
+			continue
+		}
+		switch n.State {
+		case power.On:
+			backlog += n.Queued
+			if f := n.Slots - n.Running; f > 0 {
+				free += f
+			}
+		case power.Booting:
+			inbound += n.Slots
+		}
+	}
+	need := backlog - free - inbound
+	if need > 0 {
+		need += c.WakeSlack
+	}
+	for _, n := range nodes {
+		if need <= 0 {
+			break
+		}
+		if n.Candidate && n.State.Usable() {
+			continue // already counted; its backlog drains by itself
+		}
+		if err := ctl.PowerOn(n.Name); err == nil {
+			need -= n.Slots
+			availOn++
+		}
+	}
+
+	// Shutdown path: idle past the timeout, never below MinOn. Only
+	// fully On nodes qualify — a Booting node was just paid for and is
+	// about to receive the backlog that woke it.
+	for _, n := range nodes {
+		if availOn <= c.MinOn {
+			break
+		}
+		if !n.Candidate || n.State != power.On {
+			continue
+		}
+		if n.Running > 0 || n.Queued > 0 || n.Idle < c.IdleTimeout {
+			continue
+		}
+		if err := ctl.PowerOff(n.Name); err == nil {
+			availOn--
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package dvfs models dynamic voltage and frequency scaling, the
+// alternative power-saving technique the paper's related work weighs
+// against shutdown-based provisioning (§II-B): "slowing down certain
+// server components ... techniques that according to Le Sueur et al.
+// are becoming less attractive on modern hardware".
+//
+// The model is the classic cubic one: per-core dynamic power scales
+// with (f/f_max)³ (voltage tracks frequency), execution time scales
+// with f_max/f, and the idle floor is frequency-independent. On
+// hardware with a high idle floor, finishing fast and idling (or
+// powering off) beats running slow — the "laws of diminishing
+// returns" this package reproduces quantitatively, justifying the
+// paper's choice of provisioning over DVFS.
+package dvfs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"greensched/internal/cluster"
+)
+
+// Levels is the set of available normalized frequencies (f/f_max],
+// sorted ascending, each in (0, 1].
+type Levels []float64
+
+// DefaultLevels mirrors a typical ACPI P-state ladder.
+func DefaultLevels() Levels { return Levels{0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} }
+
+// Validate checks range and ordering.
+func (l Levels) Validate() error {
+	if len(l) == 0 {
+		return fmt.Errorf("dvfs: empty level set")
+	}
+	if !sort.Float64sAreSorted(l) {
+		return fmt.Errorf("dvfs: levels must be ascending")
+	}
+	for _, f := range l {
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("dvfs: level %v outside (0,1]", f)
+		}
+	}
+	return nil
+}
+
+// Clamp returns the lowest level ≥ want, or the highest level when
+// want exceeds all.
+func (l Levels) Clamp(want float64) float64 {
+	for _, f := range l {
+		if f >= want {
+			return f
+		}
+	}
+	return l[len(l)-1]
+}
+
+// PowerAt returns a node's draw running busyCores at normalized
+// frequency f: the idle floor and activation step are
+// frequency-independent; the per-core dynamic increment scales
+// cubically.
+func PowerAt(spec cluster.NodeSpec, f float64, busyCores int) float64 {
+	if busyCores <= 0 {
+		return spec.IdleW
+	}
+	if busyCores > spec.Cores {
+		busyCores = spec.Cores
+	}
+	slope := (spec.PeakW - spec.IdleW - spec.ActivationW) / float64(spec.Cores)
+	return spec.IdleW + spec.ActivationW + slope*float64(busyCores)*f*f*f
+}
+
+// ExecSeconds returns the single-core execution time of ops flops at
+// normalized frequency f.
+func ExecSeconds(spec cluster.NodeSpec, ops, f float64) float64 {
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	return ops / (spec.FlopsPerCore * f)
+}
+
+// EnergyFixedWork returns the node energy to execute ops flops on one
+// core at frequency f and then idle until the horizon (race-to-idle
+// when f=1). It returns +Inf when the work does not fit the horizon —
+// slowing down must never be credited for missing the deadline.
+func EnergyFixedWork(spec cluster.NodeSpec, ops, f, horizon float64) float64 {
+	exec := ExecSeconds(spec, ops, f)
+	if exec > horizon {
+		return math.Inf(1)
+	}
+	return exec*PowerAt(spec, f, 1) + (horizon-exec)*spec.IdleW
+}
+
+// EnergyFixedWorkWithShutdown is EnergyFixedWork with the idle tail
+// replaced by a power-off tail (residual OffW), modelling the paper's
+// shutdown-based provisioning as the competitor.
+func EnergyFixedWorkWithShutdown(spec cluster.NodeSpec, ops, f, horizon float64) float64 {
+	exec := ExecSeconds(spec, ops, f)
+	if exec > horizon {
+		return math.Inf(1)
+	}
+	return exec*PowerAt(spec, f, 1) + (horizon-exec)*spec.OffW
+}
+
+// CurvePoint is one point of the energy-vs-frequency curve.
+type CurvePoint struct {
+	Freq    float64
+	Energy  float64
+	ExecSec float64
+}
+
+// Curve evaluates EnergyFixedWork across the level ladder.
+func Curve(spec cluster.NodeSpec, ops, horizon float64, levels Levels) ([]CurvePoint, error) {
+	if err := levels.Validate(); err != nil {
+		return nil, err
+	}
+	if ops <= 0 || horizon <= 0 {
+		return nil, fmt.Errorf("dvfs: curve needs positive ops and horizon")
+	}
+	out := make([]CurvePoint, len(levels))
+	for i, f := range levels {
+		out[i] = CurvePoint{
+			Freq:    f,
+			Energy:  EnergyFixedWork(spec, ops, f, horizon),
+			ExecSec: ExecSeconds(spec, ops, f),
+		}
+	}
+	return out, nil
+}
+
+// OptimalFreq returns the level minimizing EnergyFixedWork (ties break
+// toward the higher frequency: finish sooner at equal energy).
+func OptimalFreq(spec cluster.NodeSpec, ops, horizon float64, levels Levels) (float64, error) {
+	curve, err := Curve(spec, ops, horizon, levels)
+	if err != nil {
+		return 0, err
+	}
+	best := curve[0]
+	for _, p := range curve[1:] {
+		if p.Energy <= best.Energy {
+			best = p
+		}
+	}
+	if math.IsInf(best.Energy, 1) {
+		return 0, fmt.Errorf("dvfs: work does not fit the horizon at any level")
+	}
+	return best.Freq, nil
+}
+
+// DiminishingReturns quantifies ref [8]'s claim for a node: the
+// relative energy saving of the *best* DVFS level over running at
+// f_max, for a fixed horizon. Near-zero (or negative) savings mean
+// race-to-idle wins and DVFS is not worth its complexity.
+func DiminishingReturns(spec cluster.NodeSpec, ops, horizon float64, levels Levels) (saving float64, err error) {
+	curve, err := Curve(spec, ops, horizon, levels)
+	if err != nil {
+		return 0, err
+	}
+	atMax := curve[len(curve)-1].Energy
+	best := atMax
+	for _, p := range curve {
+		if p.Energy < best {
+			best = p.Energy
+		}
+	}
+	if math.IsInf(atMax, 1) {
+		return 0, fmt.Errorf("dvfs: work does not fit the horizon")
+	}
+	return (atMax - best) / atMax, nil
+}

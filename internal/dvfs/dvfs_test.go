@@ -1,0 +1,273 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greensched/internal/cluster"
+)
+
+func taurus() cluster.NodeSpec {
+	s, _ := cluster.Spec("taurus")
+	s.Name = "t0"
+	return s
+}
+
+func TestLevelsValidate(t *testing.T) {
+	if err := DefaultLevels().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Levels{
+		{},
+		{0.5, 0.4},    // unsorted
+		{0, 0.5},      // zero
+		{0.5, 1.0001}, // above 1
+	}
+	for i, l := range bad {
+		if l.Validate() == nil {
+			t.Errorf("case %d: invalid levels accepted", i)
+		}
+	}
+}
+
+func TestLevelsClamp(t *testing.T) {
+	l := Levels{0.4, 0.7, 1.0}
+	if l.Clamp(0.1) != 0.4 {
+		t.Fatal("clamp below floor wrong")
+	}
+	if l.Clamp(0.7) != 0.7 {
+		t.Fatal("exact clamp wrong")
+	}
+	if l.Clamp(0.71) != 1.0 {
+		t.Fatal("clamp up wrong")
+	}
+	if l.Clamp(5) != 1.0 {
+		t.Fatal("clamp above ceiling wrong")
+	}
+}
+
+func TestPowerAtFrequencyScaling(t *testing.T) {
+	spec := taurus() // idle 95, act 50, peak 222, 12 cores
+	if got := PowerAt(spec, 1, 0); got != 95 {
+		t.Fatalf("idle power = %v", got)
+	}
+	full := PowerAt(spec, 1, 12)
+	if math.Abs(full-222) > 1e-9 {
+		t.Fatalf("full power at fmax = %v, want 222", full)
+	}
+	// Half frequency: dynamic part shrinks by 8x.
+	halfDyn := PowerAt(spec, 0.5, 12) - 95 - 50
+	fullDyn := full - 95 - 50
+	if math.Abs(halfDyn-fullDyn/8) > 1e-9 {
+		t.Fatalf("cubic scaling broken: %v vs %v/8", halfDyn, fullDyn)
+	}
+	// Busy cores clamped.
+	if PowerAt(spec, 1, 100) != full {
+		t.Fatal("overcommitted cores should clamp")
+	}
+}
+
+func TestExecSecondsScaling(t *testing.T) {
+	spec := taurus()
+	base := ExecSeconds(spec, 9e11, 1)
+	if math.Abs(base-100) > 1e-9 {
+		t.Fatalf("exec at fmax = %v, want 100", base)
+	}
+	if math.Abs(ExecSeconds(spec, 9e11, 0.5)-200) > 1e-9 {
+		t.Fatal("exec at half frequency should double")
+	}
+	if !math.IsInf(ExecSeconds(spec, 1, 0), 1) {
+		t.Fatal("zero frequency should be infinite")
+	}
+}
+
+func TestEnergyFixedWorkDeadline(t *testing.T) {
+	spec := taurus()
+	// Work fits at fmax but not at 0.4.
+	horizon := 150.0
+	if !math.IsInf(EnergyFixedWork(spec, 9e11, 0.4, horizon), 1) {
+		t.Fatal("missed deadline must cost +Inf")
+	}
+	e := EnergyFixedWork(spec, 9e11, 1, horizon)
+	want := 100*PowerAt(spec, 1, 1) + 50*95
+	if math.Abs(e-want) > 1e-9 {
+		t.Fatalf("energy = %v, want %v", e, want)
+	}
+	// Shutdown variant replaces the idle tail with the off draw.
+	es := EnergyFixedWorkWithShutdown(spec, 9e11, 1, horizon)
+	if math.Abs(es-(100*PowerAt(spec, 1, 1)+50*8)) > 1e-9 {
+		t.Fatalf("shutdown energy = %v", es)
+	}
+	if es >= e {
+		t.Fatal("shutdown tail must beat idle tail")
+	}
+}
+
+// The headline reproduction: on high-idle-floor hardware, the best
+// DVFS level saves almost nothing over race-to-idle (ref [8]'s
+// diminishing returns), while on hypothetical near-zero-idle hardware
+// slowing down pays.
+func TestDiminishingReturnsOnRealHardware(t *testing.T) {
+	spec := taurus()
+	saving, err := DiminishingReturns(spec, 9e11, 500, DefaultLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saving > 0.05 {
+		t.Fatalf("DVFS saving on taurus = %.1f%%, expected ≤5%% (race-to-idle wins)", saving*100)
+	}
+	// Energy-proportional strawman: no idle floor, no activation.
+	proportional := spec
+	proportional.IdleW = 0
+	proportional.ActivationW = 0
+	proportional.OffW = 0
+	saving, err = DiminishingReturns(proportional, 9e11, 500, DefaultLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saving < 0.3 {
+		t.Fatalf("DVFS saving on proportional hardware = %.1f%%, expected ≥30%%", saving*100)
+	}
+}
+
+func TestOptimalFreq(t *testing.T) {
+	spec := taurus()
+	f, err := OptimalFreq(spec, 9e11, 500, DefaultLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 1.0 {
+		t.Fatalf("optimal frequency on taurus = %v, want 1.0 (race-to-idle)", f)
+	}
+	// Too tight a horizon: no feasible level.
+	if _, err := OptimalFreq(spec, 9e11, 10, DefaultLevels()); err == nil {
+		t.Fatal("infeasible horizon accepted")
+	}
+	proportional := spec
+	proportional.IdleW, proportional.ActivationW = 0, 0
+	f, err = OptimalFreq(proportional, 9e11, 1e6, DefaultLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0.4 {
+		t.Fatalf("optimal on proportional hardware = %v, want the floor", f)
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	spec := taurus()
+	curve, err := Curve(spec, 9e11, 1000, DefaultLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != len(DefaultLevels()) {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	// Exec times strictly decrease with frequency.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].ExecSec >= curve[i-1].ExecSec {
+			t.Fatal("exec time must decrease with frequency")
+		}
+	}
+	if _, err := Curve(spec, 0, 100, DefaultLevels()); err == nil {
+		t.Fatal("zero ops accepted")
+	}
+	if _, err := Curve(spec, 1, 100, Levels{}); err == nil {
+		t.Fatal("empty levels accepted")
+	}
+}
+
+func TestSimulateGovernorComparison(t *testing.T) {
+	spec := taurus()
+	levels := DefaultLevels()
+	// Light periodic load: one 50 s task every 200 s.
+	run := func(g Governor) GovernorRun {
+		r, err := SimulateGovernor(spec, levels, g, 4.5e11, 200, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	perf := run(PerformanceGov{})
+	save := run(PowersaveGov{})
+	ond := run(OnDemandGov{Headroom: 0.1})
+
+	if math.Abs(perf.MeanFreq-1) > 1e-9 {
+		t.Fatal("performance governor must pin fmax")
+	}
+	if math.Abs(save.MeanFreq-levels[0]) > 1e-9 {
+		t.Fatal("powersave governor must pin the floor")
+	}
+	if !(perf.Makespan < save.Makespan) {
+		t.Fatal("powersave must be slower")
+	}
+	// The reproduction point: on this hardware powersave does NOT
+	// save meaningful energy — the idle floor dominates.
+	if save.EnergyJ < perf.EnergyJ*0.97 {
+		t.Fatalf("powersave energy %.0f vs performance %.0f: idle floor should dominate",
+			save.EnergyJ, perf.EnergyJ)
+	}
+	if ond.MeanFreq <= levels[0] || ond.MeanFreq > 1 {
+		t.Fatalf("ondemand mean frequency = %v", ond.MeanFreq)
+	}
+	if ond.Completed != 20 {
+		t.Fatal("lost tasks")
+	}
+}
+
+func TestSimulateGovernorBackToBack(t *testing.T) {
+	spec := taurus()
+	// Saturating load: tasks arrive faster than they finish, so
+	// utilization stays 1 and ondemand pins fmax.
+	r, err := SimulateGovernor(spec, DefaultLevels(), OnDemandGov{}, 9e11, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanFreq < 0.99 {
+		t.Fatalf("saturated ondemand mean freq = %v, want ≈1", r.MeanFreq)
+	}
+}
+
+func TestSimulateGovernorValidation(t *testing.T) {
+	spec := taurus()
+	if _, err := SimulateGovernor(spec, Levels{}, PerformanceGov{}, 1, 1, 1); err == nil {
+		t.Fatal("bad levels accepted")
+	}
+	if _, err := SimulateGovernor(spec, DefaultLevels(), nil, 1, 1, 1); err == nil {
+		t.Fatal("nil governor accepted")
+	}
+	if _, err := SimulateGovernor(spec, DefaultLevels(), PerformanceGov{}, 0, 1, 1); err == nil {
+		t.Fatal("zero ops accepted")
+	}
+}
+
+// Property: energy at the optimal frequency never exceeds energy at
+// f_max, and both respect the deadline when feasible.
+func TestPropertyOptimalNoWorseThanMax(t *testing.T) {
+	f := func(opsRaw uint16, horizonRaw uint16) bool {
+		spec := taurus()
+		ops := float64(opsRaw)*1e8 + 1e10
+		horizon := ExecSeconds(spec, ops, 1) * (1.1 + float64(horizonRaw)/1000)
+		fOpt, err := OptimalFreq(spec, ops, horizon, DefaultLevels())
+		if err != nil {
+			return false
+		}
+		eOpt := EnergyFixedWork(spec, ops, fOpt, horizon)
+		eMax := EnergyFixedWork(spec, ops, 1, horizon)
+		return eOpt <= eMax+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCurve(b *testing.B) {
+	spec := taurus()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Curve(spec, 9e11, 500, DefaultLevels()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

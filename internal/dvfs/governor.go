@@ -1,0 +1,96 @@
+package dvfs
+
+import (
+	"fmt"
+
+	"greensched/internal/cluster"
+)
+
+// Governor picks a normalized frequency from the observed utilization
+// in [0,1] — the OS-level policy knob of the §II-B related work.
+type Governor interface {
+	Name() string
+	// Pick returns the desired normalized frequency for the current
+	// utilization; callers clamp it to the level ladder.
+	Pick(utilization float64) float64
+}
+
+// PerformanceGov always runs at f_max.
+type PerformanceGov struct{}
+
+func (PerformanceGov) Name() string         { return "performance" }
+func (PerformanceGov) Pick(float64) float64 { return 1 }
+
+// PowersaveGov always runs at the floor.
+type PowersaveGov struct{}
+
+func (PowersaveGov) Name() string         { return "powersave" }
+func (PowersaveGov) Pick(float64) float64 { return 0 }
+
+// OnDemandGov tracks utilization proportionally with headroom, like
+// Linux's ondemand: f = util + Headroom.
+type OnDemandGov struct{ Headroom float64 }
+
+func (OnDemandGov) Name() string { return "ondemand" }
+func (g OnDemandGov) Pick(util float64) float64 {
+	h := g.Headroom
+	if h <= 0 {
+		h = 0.1
+	}
+	return util + h
+}
+
+// GovernorRun is the outcome of a single-node governor simulation.
+type GovernorRun struct {
+	Governor  string
+	Makespan  float64
+	EnergyJ   float64
+	MeanFreq  float64
+	Completed int
+}
+
+// SimulateGovernor runs a periodic single-core task stream on one node
+// under a governor: tasks of ops flops arrive every period seconds,
+// count of them; the governor re-evaluates at each task boundary from
+// the instantaneous utilization. Queued tasks run back to back. It is
+// a self-contained analytic simulation (no DES needed: one node, FIFO,
+// deterministic).
+func SimulateGovernor(spec cluster.NodeSpec, levels Levels, gov Governor, ops, period float64, count int) (GovernorRun, error) {
+	if err := levels.Validate(); err != nil {
+		return GovernorRun{}, err
+	}
+	if gov == nil || ops <= 0 || period <= 0 || count <= 0 {
+		return GovernorRun{}, fmt.Errorf("dvfs: simulate needs governor, ops, period and count")
+	}
+	now := 0.0
+	energy := 0.0
+	freqSum := 0.0
+	for i := 0; i < count; i++ {
+		arrive := float64(i) * period
+		idleFrom := now
+		if arrive > now {
+			// Idle gap before this task.
+			energy += (arrive - now) * spec.IdleW
+			now = arrive
+		}
+		// Utilization proxy: fraction of the last period spent busy.
+		util := 1 - (now-idleFrom)/period
+		if util < 0 {
+			util = 0
+		} else if util > 1 {
+			util = 1
+		}
+		f := levels.Clamp(gov.Pick(util))
+		exec := ExecSeconds(spec, ops, f)
+		energy += exec * PowerAt(spec, f, 1)
+		now += exec
+		freqSum += f
+	}
+	return GovernorRun{
+		Governor:  gov.Name(),
+		Makespan:  now,
+		EnergyJ:   energy,
+		MeanFreq:  freqSum / float64(count),
+		Completed: count,
+	}, nil
+}

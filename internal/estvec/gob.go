@@ -1,0 +1,35 @@
+package estvec
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// wireVector is the encoded form of a Vector: the exported shape used
+// by the middleware's TCP transport.
+type wireVector struct {
+	Server string
+	Vals   map[Tag]float64
+}
+
+// GobEncode implements gob.GobEncoder so vectors can cross the
+// middleware's network transport.
+func (v *Vector) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(wireVector{Server: v.Server, Vals: v.vals})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (v *Vector) GobDecode(data []byte) error {
+	var w wireVector
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	v.Server = w.Server
+	v.vals = w.Vals
+	if v.vals == nil {
+		v.vals = make(map[Tag]float64)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"greensched/internal/cluster"
+	"greensched/internal/consolidation"
+	"greensched/internal/metrics"
+	"greensched/internal/report"
+	"greensched/internal/sched"
+	"greensched/internal/sim"
+	"greensched/internal/workload"
+)
+
+// ConsolidationConfig parameterizes the related-work comparison: the
+// §II-B consolidation/load-concentration baseline (Hermenier [11],
+// Green Open Cloud [12]) against the paper's always-on policies, on an
+// under-utilized workload — a burst, a long idle gap, then a sustained
+// second phase. This is the regime §II-B motivates ("Cloud computing
+// infrastructures are seldom fully utilized") and where the paper's
+// §IV-C shutdowns are the answer to GreenPerf's idle-floor blind spot.
+type ConsolidationConfig struct {
+	Tasks       int     // tasks per phase
+	TaskOps     float64 // flops per first-phase task
+	GapSec      float64 // idle gap between the phases
+	SecondRate  float64 // second-phase arrivals per second
+	IdleTimeout float64 // controller idle threshold, seconds
+	TickSec     float64 // controller cadence, seconds
+	MinOn       int     // nodes always kept on
+	Seed        int64
+}
+
+// DefaultConsolidationConfig returns the calibrated low-utilization
+// scenario on the Table I platform.
+func DefaultConsolidationConfig() ConsolidationConfig {
+	return ConsolidationConfig{
+		Tasks:       60,
+		TaskOps:     4.5e11, // ≈50 s on a taurus core
+		GapSec:      3600,   // one idle hour
+		SecondRate:  0.25,   // trickle: ~1 node's worth of sustained work
+		IdleTimeout: 600,    // match the paper's 10-minute planner tick
+		TickSec:     60,
+		MinOn:       2,
+		Seed:        1,
+	}
+}
+
+// ConsolidationRun is one configuration's outcome.
+type ConsolidationRun struct {
+	Name      string
+	EnergyJ   float64
+	Makespan  float64
+	MeanWait  float64
+	Boots     int
+	Shutdowns int
+}
+
+// ConsolidationResult bundles the compared configurations.
+type ConsolidationResult struct {
+	Runs []ConsolidationRun // fixed order: RANDOM, POWER, CONSOLIDATION, CONSOLIDATION+GREENPERF
+}
+
+// Run returns the named configuration's outcome, or false.
+func (r *ConsolidationResult) Run(name string) (ConsolidationRun, bool) {
+	for _, run := range r.Runs {
+		if run.Name == name {
+			return run, true
+		}
+	}
+	return ConsolidationRun{}, false
+}
+
+// RunConsolidation executes the four configurations on the identical
+// arrival schedule.
+func RunConsolidation(cfg ConsolidationConfig) (*ConsolidationResult, error) {
+	platform := cluster.PaperPlatform()
+	first, err := workload.BurstThenRate{
+		Total: cfg.Tasks, Burst: cfg.Tasks, Ops: cfg.TaskOps,
+	}.Tasks()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: consolidation phase 1: %w", err)
+	}
+	second, err := workload.BurstThenRate{
+		Total: cfg.Tasks, Burst: cfg.Tasks / 4, Rate: cfg.SecondRate, Ops: cfg.TaskOps,
+	}.Tasks()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: consolidation phase 2: %w", err)
+	}
+	tasks := workload.Merge(first, workload.Shift(second, cfg.GapSec))
+
+	base := sim.Config{
+		Platform: platform,
+		Tasks:    tasks,
+		Seed:     cfg.Seed,
+	}
+	managed := func(policy sched.Policy) (sim.Config, error) {
+		ctl := &consolidation.Controller{
+			IdleTimeout: cfg.IdleTimeout,
+			MinOn:       cfg.MinOn,
+		}
+		if err := ctl.Validate(); err != nil {
+			return sim.Config{}, err
+		}
+		c := base
+		c.Policy = policy
+		c.OnControl = ctl.Tick
+		c.ControlEvery = cfg.TickSec
+		return c, nil
+	}
+
+	randomCfg := base
+	randomCfg.Policy = sched.New(sched.Random)
+	powerCfg := base
+	powerCfg.Policy = sched.New(sched.Power)
+	powerCfg.Explore = true
+	consCfg, err := managed(consolidation.Policy{})
+	if err != nil {
+		return nil, err
+	}
+	greenCfg, err := managed(consolidation.GreenTieBreak{})
+	if err != nil {
+		return nil, err
+	}
+	greenCfg.Explore = true // the green tie-break needs estimates
+
+	out := &ConsolidationResult{}
+	for _, c := range []sim.Config{randomCfg, powerCfg, consCfg, greenCfg} {
+		res, err := sim.Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: consolidation %s: %w", c.Policy.Name(), err)
+		}
+		out.Runs = append(out.Runs, ConsolidationRun{
+			Name:      c.Policy.Name(),
+			EnergyJ:   float64(res.EnergyJ),
+			Makespan:  res.Makespan,
+			MeanWait:  res.MeanWait(),
+			Boots:     res.Boots,
+			Shutdowns: res.Shutdowns,
+		})
+	}
+	return out, nil
+}
+
+// Table renders the comparison.
+func (r *ConsolidationResult) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Consolidation baseline vs always-on policies (under-utilized workload)",
+		Headers: []string{"Configuration", "Energy (J)", "Makespan (s)", "Mean wait (s)", "Boots", "Shutdowns"},
+	}
+	for _, run := range r.Runs {
+		t.AddRow(run.Name,
+			fmt.Sprintf("%.0f", run.EnergyJ),
+			fmt.Sprintf("%.0f", run.Makespan),
+			fmt.Sprintf("%.1f", run.MeanWait),
+			fmt.Sprintf("%d", run.Boots),
+			fmt.Sprintf("%d", run.Shutdowns),
+		)
+	}
+	return t
+}
+
+// Render writes the table plus the headline saving of consolidation
+// over the always-on POWER policy.
+func (r *ConsolidationResult) Render(w io.Writer) error {
+	if err := r.Table().Render(w); err != nil {
+		return err
+	}
+	pw, ok1 := r.Run(string(sched.Power))
+	cons, ok2 := r.Run(consolidation.PolicyName)
+	if ok1 && ok2 {
+		fmt.Fprintf(w, "\nidle shutdown saving vs always-on POWER: %.1f%% (idle gap %s)\n",
+			metrics.Gain(pw.EnergyJ, cons.EnergyJ)*100, "in the workload")
+	}
+	return nil
+}

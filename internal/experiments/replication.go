@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"greensched/internal/analysis"
+	"greensched/internal/report"
+	"greensched/internal/sched"
+)
+
+// ReplicationConfig parameterizes the multi-seed replication of the
+// §IV-A experiment. The paper reports a single run per policy; on a
+// deterministic simulator we can rerun the whole experiment across
+// seeds and report each quantity as mean ± confidence interval, which
+// turns the headline claims ("25% gain", "6% loss") into population
+// statements instead of point estimates.
+type ReplicationConfig struct {
+	Base       PlacementConfig // per-run setup; Base.Seed is overridden
+	Seeds      int             // number of independent runs (≥2)
+	FirstSeed  int64           // seeds are FirstSeed, FirstSeed+1, ...
+	Confidence float64         // CI level, e.g. 0.95
+}
+
+// DefaultReplicationConfig replicates the calibrated §IV-A setup
+// across 10 seeds at 95% confidence.
+func DefaultReplicationConfig() ReplicationConfig {
+	return ReplicationConfig{
+		Base:       DefaultPlacementConfig(),
+		Seeds:      10,
+		FirstSeed:  1,
+		Confidence: 0.95,
+	}
+}
+
+// ReplicationResult holds the per-seed series and their summaries.
+type ReplicationResult struct {
+	Config   ReplicationConfig
+	Seeds    []int64
+	Makespan map[sched.Kind][]float64 // seconds, one entry per seed
+	Energy   map[sched.Kind][]float64 // joules, one entry per seed
+
+	// Per-seed headline ratios (POWER vs RANDOM energy gain, POWER vs
+	// PERFORMANCE energy gain, POWER vs PERFORMANCE makespan loss).
+	GainVsRandom []float64
+	GainVsPerf   []float64
+	Loss         []float64
+}
+
+// RunReplication reruns the §IV-A placement experiment for each seed.
+func RunReplication(cfg ReplicationConfig) (*ReplicationResult, error) {
+	if cfg.Seeds < 2 {
+		return nil, fmt.Errorf("experiments: replication needs at least 2 seeds, got %d", cfg.Seeds)
+	}
+	if cfg.Confidence <= 0 || cfg.Confidence >= 1 {
+		return nil, fmt.Errorf("experiments: confidence %v outside (0,1)", cfg.Confidence)
+	}
+	out := &ReplicationResult{
+		Config:   cfg,
+		Makespan: make(map[sched.Kind][]float64),
+		Energy:   make(map[sched.Kind][]float64),
+	}
+	for i := 0; i < cfg.Seeds; i++ {
+		seed := cfg.FirstSeed + int64(i)
+		run := cfg.Base
+		run.Seed = seed
+		res, err := RunPlacement(run)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: replication seed %d: %w", seed, err)
+		}
+		out.Seeds = append(out.Seeds, seed)
+		for _, kind := range sched.Kinds() {
+			out.Makespan[kind] = append(out.Makespan[kind], res.Runs[kind].Makespan)
+			out.Energy[kind] = append(out.Energy[kind], float64(res.Runs[kind].EnergyJ))
+		}
+		gR, gP, loss := res.Headline()
+		out.GainVsRandom = append(out.GainVsRandom, gR)
+		out.GainVsPerf = append(out.GainVsPerf, gP)
+		out.Loss = append(out.Loss, loss)
+	}
+	return out, nil
+}
+
+// ShapeViolation describes one seed where a paper ordering failed.
+type ShapeViolation struct {
+	Seed int64
+	Rule string
+}
+
+// ShapeViolations checks the paper's orderings on every seed:
+// energy(POWER) < energy(PERFORMANCE) < energy(RANDOM) and
+// makespan(PERFORMANCE) ≤ makespan(POWER). An empty result means the
+// Table II shape reproduced in all runs, not just on average.
+func (r *ReplicationResult) ShapeViolations() []ShapeViolation {
+	var out []ShapeViolation
+	for i, seed := range r.Seeds {
+		eP := r.Energy[sched.Power][i]
+		ePf := r.Energy[sched.Performance][i]
+		eR := r.Energy[sched.Random][i]
+		if !(eP < ePf) {
+			out = append(out, ShapeViolation{seed, fmt.Sprintf("energy POWER (%.3g) ≥ PERFORMANCE (%.3g)", eP, ePf)})
+		}
+		if !(ePf < eR) {
+			out = append(out, ShapeViolation{seed, fmt.Sprintf("energy PERFORMANCE (%.3g) ≥ RANDOM (%.3g)", ePf, eR)})
+		}
+		if r.Makespan[sched.Performance][i] > r.Makespan[sched.Power][i] {
+			out = append(out, ShapeViolation{seed, "makespan PERFORMANCE > POWER"})
+		}
+	}
+	return out
+}
+
+// Summaries returns the per-policy makespan and energy summaries in
+// the paper's policy order.
+func (r *ReplicationResult) Summaries() (makespan, energy map[sched.Kind]analysis.Summary, err error) {
+	makespan = make(map[sched.Kind]analysis.Summary)
+	energy = make(map[sched.Kind]analysis.Summary)
+	for _, kind := range sched.Kinds() {
+		m, err := analysis.Summarize(r.Makespan[kind])
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: summarizing %s makespan: %w", kind, err)
+		}
+		e, err := analysis.Summarize(r.Energy[kind])
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: summarizing %s energy: %w", kind, err)
+		}
+		makespan[kind] = m
+		energy[kind] = e
+	}
+	return makespan, energy, nil
+}
+
+// HeadlineSummaries summarizes the three per-seed headline ratio
+// series.
+func (r *ReplicationResult) HeadlineSummaries() (gainVsRandom, gainVsPerf, loss analysis.Summary, err error) {
+	gR, err := analysis.Summarize(r.GainVsRandom)
+	if err != nil {
+		return analysis.Summary{}, analysis.Summary{}, analysis.Summary{}, err
+	}
+	gP, err := analysis.Summarize(r.GainVsPerf)
+	if err != nil {
+		return analysis.Summary{}, analysis.Summary{}, analysis.Summary{}, err
+	}
+	l, err := analysis.Summarize(r.Loss)
+	if err != nil {
+		return analysis.Summary{}, analysis.Summary{}, analysis.Summary{}, err
+	}
+	return gR, gP, l, nil
+}
+
+// EnergySignificance runs Welch's t-test on the POWER vs RANDOM and
+// POWER vs PERFORMANCE energy samples. Small p-values mean the energy
+// separation is not a seeding artifact.
+func (r *ReplicationResult) EnergySignificance() (vsRandom, vsPerf analysis.WelchResult, err error) {
+	_, energy, err := r.Summaries()
+	if err != nil {
+		return analysis.WelchResult{}, analysis.WelchResult{}, err
+	}
+	vsRandom, err = analysis.WelchT(energy[sched.Power], energy[sched.Random])
+	if err != nil {
+		return analysis.WelchResult{}, analysis.WelchResult{}, err
+	}
+	vsPerf, err = analysis.WelchT(energy[sched.Power], energy[sched.Performance])
+	return vsRandom, vsPerf, err
+}
+
+// Table renders Table II with mean ± CI cells.
+func (r *ReplicationResult) Table() (*report.Table, error) {
+	makespan, energy, err := r.Summaries()
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("Table II replicated over %d seeds (mean ± %.0f%% CI)",
+			len(r.Seeds), r.Config.Confidence*100),
+		Headers: []string{"Metric", "RANDOM", "POWER", "PERFORMANCE"},
+	}
+	cell := func(s analysis.Summary) string {
+		lo, hi := s.CI(r.Config.Confidence)
+		return fmt.Sprintf("%.0f ± %.0f", s.Mean, (hi-lo)/2)
+	}
+	t.AddRow("Makespan (s)",
+		cell(makespan[sched.Random]), cell(makespan[sched.Power]), cell(makespan[sched.Performance]))
+	t.AddRow("Energy (J)",
+		cell(energy[sched.Random]), cell(energy[sched.Power]), cell(energy[sched.Performance]))
+	return t, nil
+}
+
+// Render writes the replicated Table II, the headline ratio intervals,
+// the Welch significance tests and the per-seed shape check.
+func (r *ReplicationResult) Render(w io.Writer) error {
+	tbl, err := r.Table()
+	if err != nil {
+		return err
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	gR, gP, loss, err := r.HeadlineSummaries()
+	if err != nil {
+		return err
+	}
+	line := func(name string, s analysis.Summary, paper string) {
+		lo, hi := s.CI(r.Config.Confidence)
+		fmt.Fprintf(w, "%s: %.1f%% ± %.1f%% (paper: %s)\n", name, s.Mean*100, (hi-lo)/2*100, paper)
+	}
+	fmt.Fprintln(w)
+	line("POWER energy gain vs RANDOM", gR, "25%")
+	line("POWER energy gain vs PERFORMANCE", gP, "up to 19%")
+	line("POWER makespan loss vs PERFORMANCE", loss, "up to 6%")
+
+	vsRandom, vsPerf, err := r.EnergySignificance()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nWelch t-test, energy POWER vs RANDOM:      t=%.2f df=%.1f p=%.2g\n",
+		vsRandom.T, vsRandom.DF, vsRandom.P)
+	fmt.Fprintf(w, "Welch t-test, energy POWER vs PERFORMANCE: t=%.2f df=%.1f p=%.2g\n",
+		vsPerf.T, vsPerf.DF, vsPerf.P)
+
+	if viols := r.ShapeViolations(); len(viols) > 0 {
+		sort.Slice(viols, func(i, j int) bool { return viols[i].Seed < viols[j].Seed })
+		fmt.Fprintf(w, "\nshape violations (%d):\n", len(viols))
+		for _, v := range viols {
+			fmt.Fprintf(w, "  seed %d: %s\n", v.Seed, v.Rule)
+		}
+	} else {
+		fmt.Fprintf(w, "\nTable II orderings held in all %d seeds.\n", len(r.Seeds))
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"greensched/internal/sched"
+)
+
+// fastReplication shrinks the workload so multi-seed runs stay quick
+// while preserving the load regime (same burst fraction and rate).
+func fastReplication(seeds int) ReplicationConfig {
+	cfg := DefaultReplicationConfig()
+	cfg.Seeds = seeds
+	cfg.Base.ReqsPerCore = 3
+	return cfg
+}
+
+func TestReplicationValidation(t *testing.T) {
+	cfg := fastReplication(1)
+	if _, err := RunReplication(cfg); err == nil {
+		t.Error("1 seed must be rejected")
+	}
+	cfg = fastReplication(2)
+	cfg.Confidence = 1.2
+	if _, err := RunReplication(cfg); err == nil {
+		t.Error("confidence outside (0,1) must be rejected")
+	}
+}
+
+func TestReplicationSeriesShape(t *testing.T) {
+	cfg := fastReplication(3)
+	res, err := RunReplication(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("got %d seeds, want 3", len(res.Seeds))
+	}
+	for _, kind := range sched.Kinds() {
+		if len(res.Makespan[kind]) != 3 || len(res.Energy[kind]) != 3 {
+			t.Errorf("%s: series lengths %d/%d, want 3/3",
+				kind, len(res.Makespan[kind]), len(res.Energy[kind]))
+		}
+		for i, e := range res.Energy[kind] {
+			if e <= 0 {
+				t.Errorf("%s seed %d: energy %v not positive", kind, res.Seeds[i], e)
+			}
+		}
+	}
+	if len(res.GainVsRandom) != 3 || len(res.GainVsPerf) != 3 || len(res.Loss) != 3 {
+		t.Error("headline series must have one entry per seed")
+	}
+}
+
+func TestReplicationSeedsDiffer(t *testing.T) {
+	// Different seeds must actually produce different runs — otherwise
+	// the CIs silently collapse and mean nothing.
+	res, err := RunReplication(fastReplication(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := res.Energy[sched.Random]
+	if series[0] == series[1] && series[1] == series[2] {
+		t.Errorf("RANDOM energy identical across seeds: %v", series)
+	}
+}
+
+func TestReplicationDeterministicForSameSeeds(t *testing.T) {
+	a, err := RunReplication(fastReplication(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReplication(fastReplication(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range sched.Kinds() {
+		for i := range a.Energy[kind] {
+			if a.Energy[kind][i] != b.Energy[kind][i] {
+				t.Errorf("%s seed %d: %v != %v (not deterministic)",
+					kind, a.Seeds[i], a.Energy[kind][i], b.Energy[kind][i])
+			}
+		}
+	}
+}
+
+func TestReplicationPaperShapeHolds(t *testing.T) {
+	// At the calibrated load the paper's orderings must hold for every
+	// seed, not just the default one. Use a moderate size to keep CI
+	// time in check but the regime realistic.
+	cfg := DefaultReplicationConfig()
+	cfg.Seeds = 3
+	cfg.Base.ReqsPerCore = 5
+	res, err := RunReplication(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.ShapeViolations() {
+		t.Errorf("seed %d: %s", v.Seed, v.Rule)
+	}
+	gR, _, _, err := res.HeadlineSummaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gR.Mean < 0.10 || gR.Mean > 0.40 {
+		t.Errorf("mean POWER-vs-RANDOM gain %.3f far from the paper's 0.25 regime", gR.Mean)
+	}
+}
+
+func TestReplicationSignificance(t *testing.T) {
+	res, err := RunReplication(fastReplication(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsRandom, _, err := res.EnergySignificance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// POWER saves energy vs RANDOM: negative t (mean(POWER) < mean(RANDOM)).
+	if vsRandom.T >= 0 {
+		t.Errorf("expected negative t for POWER vs RANDOM energy, got %v", vsRandom.T)
+	}
+	if vsRandom.P > 0.05 {
+		t.Errorf("POWER vs RANDOM separation not significant: p=%v", vsRandom.P)
+	}
+}
+
+func TestReplicationRender(t *testing.T) {
+	res, err := RunReplication(fastReplication(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table II replicated over 3 seeds",
+		"POWER energy gain vs RANDOM",
+		"Welch t-test",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

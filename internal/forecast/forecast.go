@@ -1,0 +1,194 @@
+// Package forecast implements the §III-B/§III-C prediction inputs:
+// "Resource usage forecast: using historical data to identify patterns
+// and ensure the responsiveness of the platform during peak periods"
+// and "predicting future usage from historical data". It provides an
+// exponentially weighted forecaster, a seasonal (period-bucketed)
+// forecaster for daily/weekly load patterns, and helpers that turn
+// electricity tariff schedules into provisioning-plan records.
+package forecast
+
+import (
+	"fmt"
+	"math"
+
+	"greensched/internal/provision"
+)
+
+// EWMA is an exponentially weighted moving average forecaster: the
+// simplest "recent history" predictor, used for short-horizon
+// utilization.
+type EWMA struct {
+	Alpha float64 // smoothing in (0,1]
+	value float64
+	init  bool
+}
+
+// NewEWMA returns a forecaster with the given smoothing factor.
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("forecast: alpha %v outside (0,1]", alpha)
+	}
+	return &EWMA{Alpha: alpha}, nil
+}
+
+// Observe folds in a sample.
+func (e *EWMA) Observe(v float64) {
+	if !e.init {
+		e.value = v
+		e.init = true
+		return
+	}
+	e.value += e.Alpha * (v - e.value)
+}
+
+// Forecast returns the current prediction; ok is false before any
+// observation.
+func (e *EWMA) Forecast() (float64, bool) { return e.value, e.init }
+
+// Seasonal is a period-bucketed forecaster: it keeps one EWMA per
+// bucket of the season (e.g. 24 hourly buckets of a day), capturing
+// the utilization patterns the provider preference feeds on.
+type Seasonal struct {
+	Period     float64 // season length in seconds (86400 for daily)
+	BucketSize float64 // bucket width in seconds (3600 for hourly)
+	buckets    []*EWMA
+}
+
+// NewSeasonal builds a seasonal forecaster.
+func NewSeasonal(period, bucketSize, alpha float64) (*Seasonal, error) {
+	if period <= 0 || bucketSize <= 0 || bucketSize > period {
+		return nil, fmt.Errorf("forecast: invalid period %v / bucket %v", period, bucketSize)
+	}
+	n := int(math.Ceil(period / bucketSize))
+	s := &Seasonal{Period: period, BucketSize: bucketSize, buckets: make([]*EWMA, n)}
+	for i := range s.buckets {
+		e, err := NewEWMA(alpha)
+		if err != nil {
+			return nil, err
+		}
+		s.buckets[i] = e
+	}
+	return s, nil
+}
+
+// Buckets returns the number of buckets per season.
+func (s *Seasonal) Buckets() int { return len(s.buckets) }
+
+func (s *Seasonal) bucketFor(t float64) int {
+	phase := math.Mod(t, s.Period)
+	if phase < 0 {
+		phase += s.Period
+	}
+	i := int(phase / s.BucketSize)
+	if i >= len(s.buckets) {
+		i = len(s.buckets) - 1
+	}
+	return i
+}
+
+// Observe records a utilization sample at absolute time t.
+func (s *Seasonal) Observe(t, v float64) {
+	s.buckets[s.bucketFor(t)].Observe(v)
+}
+
+// Forecast predicts the value at absolute (possibly future) time t
+// from the matching seasonal bucket. ok is false when that bucket has
+// never been observed.
+func (s *Seasonal) Forecast(t float64) (float64, bool) {
+	return s.buckets[s.bucketFor(t)].Forecast()
+}
+
+// ForecastOrDefault is Forecast with a fallback.
+func (s *Seasonal) ForecastOrDefault(t, def float64) float64 {
+	if v, ok := s.Forecast(t); ok {
+		return v
+	}
+	return def
+}
+
+// TariffWindow is one electricity-price window of a daily schedule.
+type TariffWindow struct {
+	StartHour float64 // hour of day, [0, 24)
+	EndHour   float64 // exclusive; may wrap past midnight
+	Cost      float64 // cost ratio in [0,1] (the paper's c)
+}
+
+// Tariff is a daily electricity price schedule — the paper's regular /
+// off-peak-1 / off-peak-2 states (§IV-C: 1.0, 0.8, 0.5).
+type Tariff []TariffWindow
+
+// PaperTariff returns the §IV-C three-state schedule mapped onto a
+// plausible day: regular 08-22h (1.0), off-peak-1 22-02h (0.8),
+// off-peak-2 02-08h (0.5).
+func PaperTariff() Tariff {
+	return Tariff{
+		{StartHour: 8, EndHour: 22, Cost: 1.0},
+		{StartHour: 22, EndHour: 2, Cost: 0.8},
+		{StartHour: 2, EndHour: 8, Cost: 0.5},
+	}
+}
+
+// Validate checks window sanity.
+func (tf Tariff) Validate() error {
+	if len(tf) == 0 {
+		return fmt.Errorf("forecast: empty tariff")
+	}
+	for i, w := range tf {
+		if w.StartHour < 0 || w.StartHour >= 24 || w.EndHour < 0 || w.EndHour > 24 {
+			return fmt.Errorf("forecast: window %d hours out of range", i)
+		}
+		if w.Cost < 0 || w.Cost > 1 {
+			return fmt.Errorf("forecast: window %d cost %v outside [0,1]", i, w.Cost)
+		}
+	}
+	return nil
+}
+
+// CostAt returns the cost ratio in force at hour-of-day h (windows may
+// wrap midnight); defaults to 1.0 (regular) when uncovered.
+func (tf Tariff) CostAt(h float64) float64 {
+	h = math.Mod(h, 24)
+	if h < 0 {
+		h += 24
+	}
+	for _, w := range tf {
+		if w.StartHour <= w.EndHour {
+			if h >= w.StartHour && h < w.EndHour {
+				return w.Cost
+			}
+		} else { // wraps midnight
+			if h >= w.StartHour || h < w.EndHour {
+				return w.Cost
+			}
+		}
+	}
+	return 1.0
+}
+
+// PlanRecords materializes the tariff into scheduled plan records over
+// [from, to) (seconds), one per window boundary, with the given
+// temperature. The provisioning planner's lookahead then anticipates
+// every price change exactly as in §IV-C Event 1.
+func (tf Tariff) PlanRecords(from, to float64, temperature float64) ([]provision.Record, error) {
+	if err := tf.Validate(); err != nil {
+		return nil, err
+	}
+	if to <= from {
+		return nil, fmt.Errorf("forecast: empty horizon")
+	}
+	var out []provision.Record
+	last := math.NaN()
+	for t := from; t < to; t += 3600 {
+		hour := math.Mod(t/3600, 24)
+		c := tf.CostAt(hour)
+		if c != last {
+			out = append(out, provision.Record{
+				Value:       int64(t),
+				Cost:        c,
+				Temperature: temperature,
+			})
+			last = c
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+// Package metrics provides the small statistics toolkit the experiment
+// harnesses use: summaries, series and distribution helpers matching
+// what the paper reports (makespan, energy, per-node task counts,
+// per-cluster energy, min/max envelopes for RANDOM runs).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary aggregates a sample set.
+type Summary struct {
+	N                   int
+	Mean, Min, Max, Std float64
+}
+
+// Summarize computes a Summary; empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank;
+// it returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Gain returns the relative saving of b versus a: (a-b)/a. The paper's
+// "gain of 25%" for POWER vs RANDOM energy is Gain(E_random, E_power).
+func Gain(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a
+}
+
+// Loss returns the relative degradation of b versus a: (b-a)/a. The
+// paper's "loss of performance of up to 6%" is Loss(makespan_perf,
+// makespan_power).
+func Loss(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b - a) / a
+}
+
+// Envelope is a min/max band, used for the RANDOM shaded areas of
+// Figures 6 and 7.
+type Envelope struct {
+	MinX, MaxX float64
+	MinY, MaxY float64
+}
+
+// EnvelopeOf computes the band over (x, y) pairs.
+func EnvelopeOf(xs, ys []float64) (Envelope, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return Envelope{}, fmt.Errorf("metrics: envelope needs equal-length non-empty series")
+	}
+	e := Envelope{MinX: math.Inf(1), MaxX: math.Inf(-1), MinY: math.Inf(1), MaxY: math.Inf(-1)}
+	for i := range xs {
+		e.MinX = math.Min(e.MinX, xs[i])
+		e.MaxX = math.Max(e.MaxX, xs[i])
+		e.MinY = math.Min(e.MinY, ys[i])
+		e.MaxY = math.Max(e.MaxY, ys[i])
+	}
+	return e, nil
+}
+
+// Contains reports whether the point lies inside the band (inclusive).
+func (e Envelope) Contains(x, y float64) bool {
+	return x >= e.MinX && x <= e.MaxX && y >= e.MinY && y <= e.MaxY
+}
+
+// Counts is a name → count distribution (tasks per node/cluster).
+type Counts map[string]int
+
+// Total sums the counts.
+func (c Counts) Total() int {
+	t := 0
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Share returns name's fraction of the total (0 when empty).
+func (c Counts) Share(name string) float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c[name]) / float64(t)
+}
+
+// SortedKeys returns the keys in lexical order for stable rendering.
+func (c Counts) SortedKeys() []string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ArgMax returns the key with the largest count ("" when empty); ties
+// break lexically for determinism.
+func (c Counts) ArgMax() string {
+	best, bestV := "", -1
+	for _, k := range c.SortedKeys() {
+		if c[k] > bestV {
+			best, bestV = k, c[k]
+		}
+	}
+	return best
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.N != 3 || s.Mean != 4 || s.Min != 2 || s.Max != 6 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Fatalf("Std = %v, want 2", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+	one := Summarize([]float64{5})
+	if one.Std != 0 || one.Mean != 5 {
+		t.Fatalf("single summary = %+v", one)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	// Input must not be mutated (sorted copy).
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestGainLoss(t *testing.T) {
+	// Table II: POWER 4,528,547 J vs RANDOM 6,041,436 J → ≈25% gain.
+	g := Gain(6041436, 4528547)
+	if math.Abs(g-0.2504) > 0.001 {
+		t.Fatalf("paper energy gain = %v, want ≈0.25", g)
+	}
+	// POWER 2321 s vs PERFORMANCE 2228 s → ≈4.2% loss ("up to 6%").
+	l := Loss(2228, 2321)
+	if l <= 0 || l > 0.06 {
+		t.Fatalf("paper makespan loss = %v, want (0,0.06]", l)
+	}
+	if Gain(0, 5) != 0 || Loss(0, 5) != 0 {
+		t.Fatal("zero baselines must not divide by zero")
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	e, err := EnvelopeOf([]float64{1, 3, 2}, []float64{10, 30, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MinX != 1 || e.MaxX != 3 || e.MinY != 10 || e.MaxY != 30 {
+		t.Fatalf("envelope = %+v", e)
+	}
+	if !e.Contains(2, 20) || e.Contains(0, 20) || e.Contains(2, 31) {
+		t.Fatal("Contains wrong")
+	}
+	if _, err := EnvelopeOf(nil, nil); err == nil {
+		t.Fatal("empty envelope accepted")
+	}
+	if _, err := EnvelopeOf([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched envelope accepted")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	c := Counts{"taurus": 700, "orion": 300, "sagittaire": 40}
+	if c.Total() != 1040 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if got := c.Share("taurus"); math.Abs(got-700.0/1040) > 1e-12 {
+		t.Fatalf("Share = %v", got)
+	}
+	if c.ArgMax() != "taurus" {
+		t.Fatalf("ArgMax = %s", c.ArgMax())
+	}
+	keys := c.SortedKeys()
+	if len(keys) != 3 || keys[0] != "orion" {
+		t.Fatalf("SortedKeys = %v", keys)
+	}
+	var empty Counts
+	if empty.Total() != 0 || empty.Share("x") != 0 || empty.ArgMax() != "" {
+		t.Fatal("empty Counts misbehave")
+	}
+	// Tie breaks lexically.
+	tie := Counts{"b": 5, "a": 5}
+	if tie.ArgMax() != "a" {
+		t.Fatalf("tie ArgMax = %s", tie.ArgMax())
+	}
+}
+
+// Property: mean lies in [min,max]; std is non-negative.
+func TestPropertySummary(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

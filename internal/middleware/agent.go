@@ -1,0 +1,297 @@
+package middleware
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"greensched/internal/core"
+	"greensched/internal/estvec"
+	"greensched/internal/sched"
+)
+
+// Child is anything an agent can forward a request to: a SED or a
+// lower agent. Estimate returns the child's sorted candidate vectors
+// (nil when it cannot serve the request).
+type Child interface {
+	Name() string
+	Estimate(ctx context.Context, req Request) (estvec.List, error)
+}
+
+// Agent is a DIET agent (Local Agent, or Master Agent at the root):
+// it forwards requests to its children in parallel, gathers their
+// candidate lists, and sorts the merged list with its plug-in
+// scheduler (§III-A steps 2–4).
+type Agent struct {
+	name   string
+	policy sched.Policy
+
+	mu           sync.RWMutex
+	children     []Child
+	topK         int
+	childTimeout time.Duration
+}
+
+// NewAgent builds an agent with a plug-in policy. topK bounds how many
+// candidates it forwards upward (0 = all); DIET trims lists for
+// scalability in deep hierarchies.
+func NewAgent(name string, policy sched.Policy, topK int) (*Agent, error) {
+	if name == "" {
+		return nil, fmt.Errorf("middleware: agent needs a name")
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("middleware: agent %s needs a policy", name)
+	}
+	if topK < 0 {
+		return nil, fmt.Errorf("middleware: agent %s: negative topK", name)
+	}
+	return &Agent{name: name, policy: policy, topK: topK}, nil
+}
+
+// Name implements Child.
+func (a *Agent) Name() string { return a.name }
+
+// Attach adds children (SEDs or sub-agents).
+func (a *Agent) Attach(children ...Child) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.children = append(a.children, children...)
+}
+
+// SetChildTimeout bounds each child's estimation round trip; a slow or
+// hung subtree is then treated like a failed one instead of stalling
+// the whole scheduling process. Zero (the default) disables the bound.
+func (a *Agent) SetChildTimeout(d time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.childTimeout = d
+}
+
+// SetPolicy swaps the plug-in scheduler at runtime (the paper's
+// framework lets administrators change ranking behaviour centrally).
+func (a *Agent) SetPolicy(p sched.Policy) {
+	if p == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.policy = p
+}
+
+// Policy returns the current plug-in scheduler.
+func (a *Agent) Policy() sched.Policy {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.policy
+}
+
+// Estimate implements Child: parallel fan-out, merge, plug-in sort,
+// optional top-K trim.
+func (a *Agent) Estimate(ctx context.Context, req Request) (estvec.List, error) {
+	a.mu.RLock()
+	children := append([]Child(nil), a.children...)
+	policy := a.policy
+	topK := a.topK
+	childTimeout := a.childTimeout
+	a.mu.RUnlock()
+	if len(children) == 0 {
+		return nil, nil
+	}
+
+	lists := make([]estvec.List, len(children))
+	errs := make([]error, len(children))
+	var wg sync.WaitGroup
+	for i, c := range children {
+		wg.Add(1)
+		go func(i int, c Child) {
+			defer wg.Done()
+			childCtx := ctx
+			if childTimeout > 0 {
+				var cancel context.CancelFunc
+				childCtx, cancel = context.WithTimeout(ctx, childTimeout)
+				defer cancel()
+			}
+			type estimation struct {
+				list estvec.List
+				err  error
+			}
+			ch := make(chan estimation, 1) // buffered: abandoned child must not leak
+			go func() {
+				list, err := c.Estimate(childCtx, req)
+				ch <- estimation{list, err}
+			}()
+			select {
+			case r := <-ch:
+				lists[i], errs[i] = r.list, r.err
+			case <-childCtx.Done():
+				// The child ignored cancellation; abandon it.
+				errs[i] = fmt.Errorf("middleware: child %s timed out: %w", c.Name(), childCtx.Err())
+			}
+		}(i, c)
+	}
+	wg.Wait()
+
+	var merged estvec.List
+	var lastErr error
+	healthy := 0
+	for i := range lists {
+		if errs[i] != nil {
+			// A dead child must not fail the whole hierarchy;
+			// DIET treats unreachable subtrees as empty. Keep the
+			// last error for the all-failed case.
+			lastErr = errs[i]
+			continue
+		}
+		healthy++
+		merged = append(merged, lists[i]...)
+	}
+	if healthy == 0 && lastErr != nil {
+		return nil, fmt.Errorf("middleware: agent %s: all children failed: %w", a.name, lastErr)
+	}
+	merged.SortStable(policy.Less)
+	if topK > 0 && len(merged) > topK {
+		merged = merged[:topK]
+	}
+	return merged, nil
+}
+
+// CandidateFilter trims the final candidate list at the Master Agent
+// before election — the §III-C hook where the provisioning layer
+// applies Preference_provider (e.g. core.SelectCandidates).
+type CandidateFilter func(estvec.List) estvec.List
+
+// MasterAgent is the hierarchy root: it runs the full scheduling
+// process and elects the SED for a request.
+type MasterAgent struct {
+	*Agent
+	mu       sync.RWMutex
+	filter   CandidateFilter
+	selector *sched.Selector
+}
+
+// NewMasterAgent builds the root agent.
+func NewMasterAgent(name string, policy sched.Policy) (*MasterAgent, error) {
+	a, err := NewAgent(name, policy, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &MasterAgent{Agent: a, selector: sched.NewSelector(policy)}, nil
+}
+
+// SetCandidateFilter installs the provisioning filter.
+func (m *MasterAgent) SetCandidateFilter(f CandidateFilter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.filter = f
+}
+
+// SetPolicy swaps both the sort policy and the election policy.
+func (m *MasterAgent) SetPolicy(p sched.Policy) {
+	if p == nil {
+		return
+	}
+	m.Agent.SetPolicy(p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.selector = sched.NewSelector(p)
+}
+
+// Elect runs steps 2–4 of the scheduling process and returns the
+// chosen SED's name together with the sorted candidate list.
+func (m *MasterAgent) Elect(ctx context.Context, req Request) (string, estvec.List, error) {
+	list, err := m.Estimate(ctx, req)
+	if err != nil {
+		return "", nil, err
+	}
+	m.mu.RLock()
+	filter := m.filter
+	selector := m.selector
+	m.mu.RUnlock()
+	if filter != nil {
+		list = filter(list)
+	}
+	if len(list) == 0 {
+		return "", nil, fmt.Errorf("middleware: no server is able to solve %q", req.Service)
+	}
+	chosen, err := selector.Select(list)
+	if err != nil {
+		return "", list, err
+	}
+	return chosen.Server, list, nil
+}
+
+// Solver executes requests on a named SED — the client-side handle
+// used for §III-A step 5 ("the client contacts the elected SED").
+type Solver interface {
+	Solve(ctx context.Context, req Request) (Response, error)
+}
+
+// Directory resolves SED names to Solvers. The in-process directory is
+// a simple map; the TCP transport resolves to remote connections.
+type Directory interface {
+	Lookup(name string) (Solver, bool)
+}
+
+// MapDirectory is the in-process Directory.
+type MapDirectory struct {
+	mu   sync.RWMutex
+	seds map[string]Solver
+}
+
+// NewMapDirectory returns an empty directory.
+func NewMapDirectory() *MapDirectory {
+	return &MapDirectory{seds: make(map[string]Solver)}
+}
+
+// Add registers a solver under a name.
+func (d *MapDirectory) Add(name string, s Solver) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seds[name] = s
+}
+
+// Lookup implements Directory.
+func (d *MapDirectory) Lookup(name string) (Solver, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.seds[name]
+	return s, ok
+}
+
+// Client submits problems through a Master Agent and invokes the
+// elected SED.
+type Client struct {
+	ma  *MasterAgent
+	dir Directory
+
+	nextID uint64
+	mu     sync.Mutex
+}
+
+// NewClient builds a client.
+func NewClient(ma *MasterAgent, dir Directory) (*Client, error) {
+	if ma == nil || dir == nil {
+		return nil, fmt.Errorf("middleware: client needs a master agent and a directory")
+	}
+	return &Client{ma: ma, dir: dir}, nil
+}
+
+// Submit runs the full §III-A problem-submission flow.
+func (c *Client) Submit(ctx context.Context, service string, ops float64, pref float64, payload []byte) (Response, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+	req := Request{ID: id, Service: service, Ops: ops, Pref: core.UserPref(pref), Payload: payload}
+
+	server, _, err := c.ma.Elect(ctx, req)
+	if err != nil {
+		return Response{}, err
+	}
+	solver, ok := c.dir.Lookup(server)
+	if !ok {
+		return Response{}, fmt.Errorf("middleware: elected SED %q not in directory", server)
+	}
+	return solver.Solve(ctx, req)
+}

@@ -1,0 +1,331 @@
+// Package middleware is a live, concurrent implementation of the
+// DIET-style architecture the paper builds on (§II-A): clients submit
+// problems to a Master Agent; a hierarchy of agents forwards the
+// request to Server Daemons (SEDs); each SED populates an estimation
+// vector via its (pluggable) estimation function; agents sort the
+// responses with their plug-in scheduler at every level; the Master
+// Agent elects a SED and the client invokes it.
+//
+// The same policies and election logic run inside the deterministic
+// simulator (package sim); this package exists so the library is
+// usable as an actual middleware: components communicate through a
+// Transport, with in-process and TCP/gob implementations provided.
+package middleware
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"greensched/internal/core"
+	"greensched/internal/estvec"
+	"greensched/internal/power"
+	"greensched/internal/sched"
+)
+
+// Request is a client problem submission (§III-A step 1), carrying the
+// §III-C user preference.
+type Request struct {
+	ID      uint64
+	Service string
+	Ops     float64 // problem size in flops
+	Pref    core.UserPref
+	Payload []byte // opaque problem data
+}
+
+// Response is the outcome of solving a request.
+type Response struct {
+	Server string
+	Output []byte
+}
+
+// Service is a computational service a SED exposes ("a single SED can
+// offer any number of computational services").
+type Service struct {
+	Name string
+	// Solve computes the problem. It runs on one execution slot.
+	Solve func(ctx context.Context, req Request) ([]byte, error)
+}
+
+// MeterFunc reads the node's current power draw in watts; ok=false
+// when no meter is attached. Real deployments wire this to a wattmeter
+// (the paper uses external Omegawatt meters); tests and examples use
+// synthetic sources.
+type MeterFunc func() (watts float64, ok bool)
+
+// EstimationFunc populates a SED's estimation vector for a request.
+// This is the paper's plug-in customization point: "A developer can
+// create his own performance estimation function and include it into a
+// SED so that when the SED receives a user request, the custom
+// function is called to populate an estimation vector."
+type EstimationFunc func(s *SED, req Request) *estvec.Vector
+
+// SEDConfig configures a Server Daemon.
+type SEDConfig struct {
+	Name  string
+	Slots int // concurrent executions (cores); ≥1
+	// Meter supplies live power readings for the dynamic estimator.
+	Meter MeterFunc
+	// EstimatorWindow is the moving-average window (requests); 0
+	// means 64.
+	EstimatorWindow int
+	// Estimation overrides the default estimation function.
+	Estimation EstimationFunc
+	// BootSec/BootPowerW describe the node for Eq. 4/5 when the SED
+	// is provisioned from cold.
+	BootSec    float64
+	BootPowerW float64
+}
+
+// SED is a Server Daemon: a service provider with bounded concurrency,
+// a FIFO admission queue and a dynamic power/performance estimator.
+type SED struct {
+	cfg      SEDConfig
+	services map[string]Service
+
+	sem      chan struct{}
+	queueLen atomic.Int64
+	inflight atomic.Int64
+	done     atomic.Uint64
+
+	mu        sync.Mutex
+	est       *power.Estimator
+	execTotal float64 // summed execution seconds of completed requests
+
+	active atomic.Bool
+}
+
+// SEDStats is a point-in-time observability snapshot of one SED.
+type SEDStats struct {
+	Name      string
+	Completed uint64
+	InFlight  int
+	Queued    int
+	// MeanExecSec is the average execution time of completed
+	// requests (0 before the first completion).
+	MeanExecSec float64
+	// Learned dynamic estimates; zero when still unknown.
+	PowerW    float64
+	Flops     float64
+	GreenPerf float64
+	Active    bool
+}
+
+// Stats returns the SED's current counters and learned estimates.
+func (s *SED) Stats() SEDStats {
+	st := SEDStats{
+		Name:      s.cfg.Name,
+		Completed: s.done.Load(),
+		InFlight:  int(s.inflight.Load()),
+		Queued:    int(s.queueLen.Load()),
+		Active:    s.active.Load(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.Completed > 0 {
+		st.MeanExecSec = s.execTotal / float64(st.Completed)
+	}
+	if p, ok := s.est.Power(); ok {
+		st.PowerW = p
+	}
+	if f, ok := s.est.Flops(); ok {
+		st.Flops = f
+	}
+	if gp, ok := s.est.GreenPerf(); ok {
+		st.GreenPerf = gp
+	}
+	return st
+}
+
+// NewSED constructs a SED.
+func NewSED(cfg SEDConfig) (*SED, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("middleware: SED needs a name")
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("middleware: SED %s needs at least one slot", cfg.Name)
+	}
+	if cfg.EstimatorWindow <= 0 {
+		cfg.EstimatorWindow = 64
+	}
+	s := &SED{
+		cfg:      cfg,
+		services: make(map[string]Service),
+		sem:      make(chan struct{}, cfg.Slots),
+		est:      power.NewEstimator(cfg.EstimatorWindow),
+	}
+	s.active.Store(true)
+	return s, nil
+}
+
+// Name returns the SED's unique name.
+func (s *SED) Name() string { return s.cfg.Name }
+
+// Register adds (or replaces) a service.
+func (s *SED) Register(svc Service) error {
+	if svc.Name == "" || svc.Solve == nil {
+		return fmt.Errorf("middleware: SED %s: invalid service", s.cfg.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.services[svc.Name] = svc
+	return nil
+}
+
+// SetActive marks the SED available/unavailable (provisioning uses
+// this to drain a node before shutdown).
+func (s *SED) SetActive(v bool) { s.active.Store(v) }
+
+// Active reports availability.
+func (s *SED) Active() bool { return s.active.Load() }
+
+// Completed returns the number of requests solved.
+func (s *SED) Completed() uint64 { return s.done.Load() }
+
+// Estimate responds to a request propagation (§III-A step 3): nil when
+// the SED does not offer the service, otherwise a single-vector list.
+func (s *SED) Estimate(ctx context.Context, req Request) (estvec.List, error) {
+	s.mu.Lock()
+	_, offers := s.services[req.Service]
+	s.mu.Unlock()
+	if !offers {
+		return nil, nil
+	}
+	if s.cfg.Estimation != nil {
+		return estvec.List{s.cfg.Estimation(s, req)}, nil
+	}
+	return estvec.List{s.DefaultEstimation(req)}, nil
+}
+
+// DefaultEstimation is the stock estimation function: the classic DIET
+// system tags plus the paper's energy tags, fed by the dynamic
+// estimator.
+func (s *SED) DefaultEstimation(req Request) *estvec.Vector {
+	free := s.cfg.Slots - int(s.inflight.Load())
+	if free < 0 {
+		free = 0
+	}
+	qlen := float64(s.queueLen.Load())
+	v := estvec.New(s.cfg.Name).
+		Set(estvec.TagFreeCores, float64(free)).
+		Set(sched.TagCores(), float64(s.cfg.Slots)).
+		Set(estvec.TagQueueLen, qlen).
+		Set(estvec.TagBootSec, s.cfg.BootSec).
+		Set(estvec.TagBootPowerW, s.cfg.BootPowerW).
+		SetBool(estvec.TagActive, s.active.Load()).
+		Set(estvec.TagRandom, randFloat())
+
+	s.mu.Lock()
+	est := s.est
+	known := est.Known()
+	reqs := float64(est.Requests())
+	flops, okF := est.Flops()
+	pw, okP := est.Power()
+	gp, okG := est.GreenPerf()
+	s.mu.Unlock()
+
+	v.SetBool(estvec.TagKnown, known).Set(estvec.TagRequests, reqs)
+	var wait float64
+	if okF && flops > 0 && free == 0 {
+		wait = (qlen + 1) * req.Ops / flops / float64(s.cfg.Slots)
+	}
+	v.Set(estvec.TagWaitSec, wait)
+	if okF {
+		v.Set(estvec.TagFlops, flops)
+	}
+	if okP {
+		v.Set(estvec.TagPowerW, pw)
+	}
+	if okG {
+		v.Set(estvec.TagGreenPerf, gp)
+	}
+	return v
+}
+
+// Solve executes a request (§III-A step 5), blocking for a free slot.
+// It feeds the dynamic estimator with the observed execution time and
+// the meter's power readings.
+func (s *SED) Solve(ctx context.Context, req Request) (Response, error) {
+	s.mu.Lock()
+	svc, ok := s.services[req.Service]
+	s.mu.Unlock()
+	if !ok {
+		return Response{}, fmt.Errorf("middleware: SED %s does not offer %q", s.cfg.Name, req.Service)
+	}
+	s.queueLen.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.queueLen.Add(-1)
+		return Response{}, ctx.Err()
+	}
+	s.queueLen.Add(-1)
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}()
+
+	var meterSum float64
+	var meterN int
+	if s.cfg.Meter != nil {
+		if w, ok := s.cfg.Meter(); ok {
+			meterSum += w
+			meterN++
+		}
+	}
+	start := time.Now()
+	out, err := svc.Solve(ctx, req)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		return Response{}, err
+	}
+	if s.cfg.Meter != nil {
+		if w, ok := s.cfg.Meter(); ok {
+			meterSum += w
+			meterN++
+		}
+	}
+	meanW := 0.0
+	if meterN > 0 {
+		meanW = meterSum / float64(meterN)
+	}
+	if elapsed > 0 {
+		s.mu.Lock()
+		s.est.ObserveRequest(meanW, req.Ops, elapsed)
+		s.execTotal += elapsed
+		s.mu.Unlock()
+	}
+	s.done.Add(1)
+	return Response{Server: s.cfg.Name, Output: out}, nil
+}
+
+// randFloat is a package-level uniform source for the RANDOM policy
+// tag. It is deliberately behind a mutex rather than per-SED so that
+// concurrent estimations stay uniform.
+var (
+	randMu    sync.Mutex
+	randState uint64 = 0x9E3779B97F4A7C15
+)
+
+func randFloat() float64 {
+	randMu.Lock()
+	defer randMu.Unlock()
+	// xorshift64*: small, deterministic-enough shuffle source.
+	randState ^= randState >> 12
+	randState ^= randState << 25
+	randState ^= randState >> 27
+	return float64((randState*0x2545F4914F6CDD1D)>>11) / float64(1<<53)
+}
+
+// SeedRand reseeds the shared shuffle source (tests).
+func SeedRand(seed uint64) {
+	randMu.Lock()
+	defer randMu.Unlock()
+	if seed == 0 {
+		seed = 1
+	}
+	randState = seed
+}

@@ -1,0 +1,165 @@
+package middleware
+
+import (
+	"context"
+	"fmt"
+
+	"greensched/internal/core"
+	"greensched/internal/estvec"
+	"greensched/internal/sched"
+)
+
+// TreeSpec declares an agent hierarchy: the paper deploys a Master
+// Agent over Local Agents over SEDs; this builder turns the shape into
+// wired components plus a directory of every SED.
+type TreeSpec struct {
+	Name     string
+	TopK     int
+	Children []TreeSpec
+	SEDs     []*SED
+}
+
+// BuildTree constructs the hierarchy with one plug-in policy shared by
+// every agent (DIET configures plug-ins per agent; SetPolicy allows
+// divergence afterwards). It returns the Master Agent and a directory
+// resolving every SED in the tree.
+func BuildTree(spec TreeSpec, policy sched.Policy) (*MasterAgent, *MapDirectory, error) {
+	if policy == nil {
+		return nil, nil, fmt.Errorf("middleware: tree needs a policy")
+	}
+	ma, err := NewMasterAgent(spec.Name, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	dir := NewMapDirectory()
+	if err := attachSpec(ma.Agent, spec, policy, dir); err != nil {
+		return nil, nil, err
+	}
+	return ma, dir, nil
+}
+
+func attachSpec(agent *Agent, spec TreeSpec, policy sched.Policy, dir *MapDirectory) error {
+	for _, sed := range spec.SEDs {
+		if sed == nil {
+			return fmt.Errorf("middleware: nil SED under agent %s", spec.Name)
+		}
+		agent.Attach(sed)
+		dir.Add(sed.Name(), sed)
+	}
+	for _, child := range spec.Children {
+		sub, err := NewAgent(child.Name, policy, child.TopK)
+		if err != nil {
+			return err
+		}
+		if err := attachSpec(sub, child, policy, dir); err != nil {
+			return err
+		}
+		agent.Attach(sub)
+	}
+	return nil
+}
+
+// ElectExcluding runs the election while masking a set of servers —
+// the retry path after a SED failure.
+func (m *MasterAgent) ElectExcluding(ctx context.Context, req Request, exclude map[string]bool) (string, estvec.List, error) {
+	server, list, err := m.Elect(ctx, req)
+	if err != nil {
+		return "", list, err
+	}
+	if !exclude[server] {
+		return server, list, nil
+	}
+	filtered := make(estvec.List, 0, len(list))
+	for _, v := range list {
+		if !exclude[v.Server] {
+			filtered = append(filtered, v)
+		}
+	}
+	if len(filtered) == 0 {
+		return "", nil, fmt.Errorf("middleware: all candidates for %q excluded", req.Service)
+	}
+	m.mu.RLock()
+	selector := m.selector
+	m.mu.RUnlock()
+	chosen, err := selector.Select(filtered)
+	if err != nil {
+		return "", filtered, err
+	}
+	return chosen.Server, filtered, nil
+}
+
+// SubmitWithRetry is Submit with failover: when the elected SED's
+// Solve fails, the request is re-elected excluding the failed servers,
+// up to `retries` additional attempts. Context cancellation is
+// terminal (the client gave up, not the server).
+func (c *Client) SubmitWithRetry(ctx context.Context, service string, ops float64, pref float64, payload []byte, retries int) (Response, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+	req := Request{ID: id, Service: service, Ops: ops, Pref: core.UserPref(pref), Payload: payload}
+
+	exclude := map[string]bool{}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Response{}, err
+		}
+		server, _, err := c.ma.ElectExcluding(ctx, req, exclude)
+		if err != nil {
+			if lastErr != nil {
+				return Response{}, fmt.Errorf("%w (after: %v)", err, lastErr)
+			}
+			return Response{}, err
+		}
+		solver, ok := c.dir.Lookup(server)
+		if !ok {
+			exclude[server] = true
+			lastErr = fmt.Errorf("middleware: elected SED %q not in directory", server)
+			continue
+		}
+		resp, err := solver.Solve(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			return Response{}, err
+		}
+		exclude[server] = true
+		lastErr = err
+	}
+	return Response{}, fmt.Errorf("middleware: request %d failed after %d attempts: %w", id, retries+1, lastErr)
+}
+
+// ProviderFilter builds the Master Agent candidate filter that applies
+// §III-C: it sorts the incoming estimation vectors by GreenPerf and
+// keeps the Algorithm 1 prefix whose accumulated power covers
+// Preference_provider × P_total. pref is sampled per request so the
+// provider preference can track electricity cost and utilization live.
+func ProviderFilter(pref func() float64) CandidateFilter {
+	return func(list estvec.List) estvec.List {
+		servers := make([]core.Server, 0, len(list))
+		byName := make(map[string]*estvec.Vector, len(list))
+		for _, v := range list {
+			srv, ok := sched.ServerFromVector(v)
+			if !ok {
+				continue // unmeasured servers pass through below
+			}
+			servers = append(servers, srv)
+			byName[srv.Name] = v
+		}
+		selected := core.SelectCandidates(core.Rank(servers, core.ByGreenPerf()), pref())
+		out := make(estvec.List, 0, len(list))
+		for _, s := range selected {
+			out = append(out, byName[s.Name])
+		}
+		// Unmeasured servers stay candidates: the learning phase
+		// must be able to reach them.
+		for _, v := range list {
+			if _, ok := sched.ServerFromVector(v); !ok {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+}

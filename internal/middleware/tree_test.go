@@ -1,0 +1,215 @@
+package middleware
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"greensched/internal/estvec"
+	"greensched/internal/sched"
+)
+
+func TestBuildTreeWiresHierarchy(t *testing.T) {
+	seds := map[string]*SED{}
+	mk := func(name string, watts float64) *SED {
+		sed := newSED(t, name, 2, 2e9, watts)
+		seds[name] = sed
+		return sed
+	}
+	spec := TreeSpec{
+		Name: "ma",
+		Children: []TreeSpec{
+			{Name: "la-lyon", SEDs: []*SED{mk("taurus-0", 150), mk("taurus-1", 155)}},
+			{Name: "la-grenoble", SEDs: []*SED{mk("genepi-0", 250)}, Children: []TreeSpec{
+				{Name: "la-deep", SEDs: []*SED{mk("deep-0", 90)}},
+			}},
+		},
+	}
+	ma, dir, err := BuildTree(spec, sched.New(sched.Power))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prime(t, seds)
+	server, list, err := ma.Elect(context.Background(), Request{Service: "burn", Ops: 1e7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 4 {
+		t.Fatalf("hierarchy found %d SEDs, want 4", len(list))
+	}
+	if server != "deep-0" {
+		t.Fatalf("POWER elected %s, want deep-0 (90 W)", server)
+	}
+	for name := range seds {
+		if _, ok := dir.Lookup(name); !ok {
+			t.Errorf("directory missing %s", name)
+		}
+	}
+}
+
+func TestBuildTreeValidation(t *testing.T) {
+	if _, _, err := BuildTree(TreeSpec{Name: "ma"}, nil); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	if _, _, err := BuildTree(TreeSpec{Name: "ma", SEDs: []*SED{nil}}, sched.New(sched.Power)); err == nil {
+		t.Fatal("nil SED accepted")
+	}
+	if _, _, err := BuildTree(TreeSpec{Name: ""}, sched.New(sched.Power)); err == nil {
+		t.Fatal("empty root name accepted")
+	}
+	bad := TreeSpec{Name: "ma", Children: []TreeSpec{{Name: ""}}}
+	if _, _, err := BuildTree(bad, sched.New(sched.Power)); err == nil {
+		t.Fatal("empty child name accepted")
+	}
+}
+
+// flakySED fails its first n Solve calls.
+type flakySED struct {
+	*SED
+	failures atomic.Int64
+}
+
+func (f *flakySED) Solve(ctx context.Context, req Request) (Response, error) {
+	if f.failures.Add(-1) >= 0 {
+		return Response{}, errors.New("injected failure")
+	}
+	return f.SED.Solve(ctx, req)
+}
+
+func TestSubmitWithRetryFailsOver(t *testing.T) {
+	lean := newSED(t, "lean", 2, 2e9, 90)
+	hungry := newSED(t, "hungry", 2, 2e9, 300)
+	prime(t, map[string]*SED{"lean": lean, "hungry": hungry})
+	flaky := &flakySED{SED: lean}
+	flaky.failures.Store(100) // lean always fails
+
+	ma, err := NewMasterAgent("ma", sched.New(sched.Power))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma.Attach(lean, hungry)
+	dir := NewMapDirectory()
+	dir.Add("lean", flaky) // directory routes to the flaky wrapper
+	dir.Add("hungry", hungry)
+	client, err := NewClient(ma, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain Submit elects lean (lowest watts) and fails.
+	if _, err := client.Submit(context.Background(), "burn", 1e7, 0, nil); err == nil {
+		t.Fatal("expected failure without retry")
+	}
+	// With retry the request fails over to hungry.
+	resp, err := client.SubmitWithRetry(context.Background(), "burn", 1e7, 0, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Server != "hungry" {
+		t.Fatalf("failover elected %s, want hungry", resp.Server)
+	}
+}
+
+func TestSubmitWithRetryExhaustsAttempts(t *testing.T) {
+	lean := newSED(t, "lean", 2, 2e9, 90)
+	prime(t, map[string]*SED{"lean": lean})
+	flaky := &flakySED{SED: lean}
+	flaky.failures.Store(100)
+	ma, _ := NewMasterAgent("ma", sched.New(sched.Power))
+	ma.Attach(lean)
+	dir := NewMapDirectory()
+	dir.Add("lean", flaky)
+	client, _ := NewClient(ma, dir)
+	_, err := client.SubmitWithRetry(context.Background(), "burn", 1e7, 0, nil, 3)
+	if err == nil {
+		t.Fatal("all-failing SED should exhaust retries")
+	}
+}
+
+func TestElectExcluding(t *testing.T) {
+	a := newSED(t, "a", 2, 2e9, 90)
+	b := newSED(t, "b", 2, 2e9, 300)
+	prime(t, map[string]*SED{"a": a, "b": b})
+	ma, _ := NewMasterAgent("ma", sched.New(sched.Power))
+	ma.Attach(a, b)
+	server, _, err := ma.ElectExcluding(context.Background(), Request{Service: "burn", Ops: 1e7}, map[string]bool{"a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if server != "b" {
+		t.Fatalf("elected %s with a excluded", server)
+	}
+	_, _, err = ma.ElectExcluding(context.Background(), Request{Service: "burn", Ops: 1e7},
+		map[string]bool{"a": true, "b": true})
+	if err == nil {
+		t.Fatal("excluding everything should error")
+	}
+}
+
+func TestProviderFilterAlgorithm1(t *testing.T) {
+	mk := func(name string, flops, watts float64) *estvec.Vector {
+		return estvec.New(name).
+			Set(estvec.TagFlops, flops).
+			Set(estvec.TagPowerW, watts).
+			SetBool(estvec.TagActive, true)
+	}
+	list := estvec.List{
+		mk("green", 10e9, 100),
+		mk("mid", 8e9, 150),
+		mk("hot", 5e9, 250),
+	}
+	// pref 0.5: P_total=500, required 250 → green(100)+mid(150).
+	filter := ProviderFilter(func() float64 { return 0.5 })
+	out := filter(list)
+	if len(out) != 2 || out[0].Server != "green" || out[1].Server != "mid" {
+		t.Fatalf("filtered = %v", out.Servers())
+	}
+	// Unmeasured servers always pass (learning phase).
+	novice := estvec.New("novice").SetBool(estvec.TagActive, true)
+	out = filter(append(list, novice))
+	found := false
+	for _, v := range out {
+		if v.Server == "novice" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unmeasured server dropped by provider filter")
+	}
+	// pref 0: only unmeasured pass.
+	zero := ProviderFilter(func() float64 { return 0 })
+	out = zero(append(list, novice))
+	if len(out) != 1 || out[0].Server != "novice" {
+		t.Fatalf("zero-pref filter = %v", out.Servers())
+	}
+}
+
+func TestProviderFilterOnMasterAgent(t *testing.T) {
+	seds := map[string]*SED{}
+	var tree TreeSpec
+	tree.Name = "ma"
+	for i, w := range []float64{90, 150, 400} {
+		sed := newSED(t, fmt.Sprintf("s%d", i), 2, 2e9, w)
+		seds[sed.Name()] = sed
+		tree.SEDs = append(tree.SEDs, sed)
+	}
+	ma, dir, err := BuildTree(tree, sched.New(sched.GreenPerf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prime(t, seds)
+	// A stingy provider excludes the hungriest server.
+	ma.SetCandidateFilter(ProviderFilter(func() float64 { return 0.4 }))
+	client, _ := NewClient(ma, dir)
+	for i := 0; i < 6; i++ {
+		resp, err := client.Submit(context.Background(), "burn", 1e7, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Server == "s2" {
+			t.Fatal("power-capped candidate set still elected the 400 W server")
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package provision_test
+
+import (
+	"fmt"
+
+	"greensched/internal/provision"
+)
+
+// ExamplePlan_MarshalIndent renders the Figure 8 provisioning record.
+func ExamplePlan_MarshalIndent() {
+	plan := &provision.Plan{Records: []provision.Record{{
+		Value:       1385896446,
+		Temperature: 23.5,
+		Candidates:  8,
+		Cost:        0.6,
+	}}}
+	out, _ := plan.MarshalIndent()
+	fmt.Println(string(out))
+	// Output:
+	// <provisioning>
+	//     <timestamp value="1385896446">
+	//         <temperature>23.5</temperature>
+	//         <candidates>8</candidates>
+	//         <electricity_cost>0.6</electricity_cost>
+	//     </timestamp>
+	// </provisioning>
+}
+
+// ExampleRules_Quota applies the §IV-C administrator thresholds on the
+// paper's 12-node platform.
+func ExampleRules_Quota() {
+	rules := provision.DefaultRules()
+	for _, st := range []provision.Status{
+		{Temperature: 27, Cost: 0.3}, // heat overrides cheap energy
+		{Temperature: 20, Cost: 1.0}, // regular time
+		{Temperature: 20, Cost: 0.7}, // off-peak 1
+		{Temperature: 20, Cost: 0.4}, // off-peak 2
+	} {
+		fmt.Println(rules.Quota(st, 12, 1))
+	}
+	// Output:
+	// 2
+	// 4
+	// 8
+	// 12
+}

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"testing"
+
+	"greensched/internal/estvec"
+)
+
+func llVec(name string, wait, free float64) *estvec.Vector {
+	return estvec.New(name).
+		Set(estvec.TagWaitSec, wait).
+		Set(estvec.TagFreeCores, free).
+		SetBool(estvec.TagActive, true)
+}
+
+func TestLeastLoadedOrdersByWait(t *testing.T) {
+	p := New(LeastLoaded)
+	short := llVec("short", 5, 0)
+	long := llVec("long", 50, 4)
+	if !p.Less(short, long) {
+		t.Error("shorter wait must rank first regardless of free cores")
+	}
+	if p.Less(long, short) {
+		t.Error("ordering must be asymmetric")
+	}
+}
+
+func TestLeastLoadedTieBreaks(t *testing.T) {
+	p := New(LeastLoaded)
+	roomy := llVec("roomy", 10, 8)
+	tight := llVec("tight", 10, 1)
+	if !p.Less(roomy, tight) {
+		t.Error("equal wait: more free capacity first")
+	}
+	a := llVec("a", 10, 2)
+	b := llVec("b", 10, 2)
+	if !p.Less(a, b) || p.Less(b, a) {
+		t.Error("full tie must fall back to name order")
+	}
+}
+
+func TestLeastLoadedName(t *testing.T) {
+	if got := New(LeastLoaded).Name(); got != "LEASTLOADED" {
+		t.Errorf("Name() = %q", got)
+	}
+}
+
+func TestLeastLoadedIsEnergyBlind(t *testing.T) {
+	// Identical load, wildly different power: the baseline must not
+	// care — that is exactly the gap GreenPerf fills.
+	p := New(LeastLoaded)
+	hog := llVec("hog", 10, 2).Set(estvec.TagPowerW, 500).Set(estvec.TagGreenPerf, 99)
+	eff := llVec("zeff", 10, 2).Set(estvec.TagPowerW, 50).Set(estvec.TagGreenPerf, 1)
+	if !p.Less(hog, eff) {
+		t.Error("least-loaded must order by name here, ignoring power tags")
+	}
+}
+
+func TestLeastLoadedSelectorIntegration(t *testing.T) {
+	sel := NewSelector(New(LeastLoaded))
+	sel.Explore = false
+	list := estvec.List{
+		llVec("busy", 120, 0).Set(TagCores(), 4),
+		llVec("free", 0, 2).Set(TagCores(), 4),
+	}
+	got, err := sel.Select(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Server != "free" {
+		t.Errorf("selected %s, want free", got.Server)
+	}
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"testing"
+
+	"greensched/internal/cluster"
+	"greensched/internal/provision"
+	"greensched/internal/sched"
+)
+
+// paperTimeline loads the §IV-C event schedule (times in seconds):
+// start at regular cost, scheduled cost drops at t+60 and t+120 min,
+// an unexpected heat event just before t+160 min, recovery before
+// t+240 min.
+func paperTimeline() *provision.Store {
+	store := provision.NewStore()
+	store.Put(provision.Record{Value: 0, Cost: 1.0, Temperature: 23})
+	store.Put(provision.Record{Value: 3600, Cost: 0.8, Temperature: 23})                    // Event 1 (scheduled)
+	store.Put(provision.Record{Value: 7200, Cost: 0.5, Temperature: 23})                    // Event 2 (scheduled)
+	store.Put(provision.Record{Value: 9550, Cost: 0.5, Temperature: 27, Unexpected: true})  // Event 3
+	store.Put(provision.Record{Value: 14350, Cost: 0.5, Temperature: 22, Unexpected: true}) // Event 4
+	return store
+}
+
+func adaptiveConfig(seed int64) AdaptiveConfig {
+	planner := provision.NewPlanner(12, 4)
+	planner.MinNodes = 2
+	return AdaptiveConfig{
+		Platform: cluster.PaperPlatform(),
+		Planner:  planner,
+		Store:    paperTimeline(),
+		Policy:   sched.New(sched.GreenPerf),
+		TaskOps:  1.8e12, // ≈200 s on a taurus core
+		Horizon:  260 * 60,
+		Seed:     seed,
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	cfg := adaptiveConfig(1)
+	cfg.Platform = nil
+	if _, err := RunAdaptive(cfg); err == nil {
+		t.Fatal("missing platform accepted")
+	}
+	cfg = adaptiveConfig(1)
+	cfg.TaskOps = 0
+	if _, err := RunAdaptive(cfg); err == nil {
+		t.Fatal("zero ops accepted")
+	}
+	cfg = adaptiveConfig(1)
+	cfg.Horizon = -1
+	if _, err := RunAdaptive(cfg); err == nil {
+		t.Fatal("negative horizon accepted")
+	}
+	cfg = adaptiveConfig(1)
+	cfg.Planner.StepUp = 0
+	if _, err := RunAdaptive(cfg); err == nil {
+		t.Fatal("invalid planner accepted")
+	}
+}
+
+func TestAdaptiveReproducesFigure9Shape(t *testing.T) {
+	res, err := RunAdaptive(adaptiveConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 26 {
+		t.Fatalf("samples = %d, want 26 (every 10 min over 260)", len(res.Samples))
+	}
+	pool := func(minute float64) int {
+		for _, s := range res.Samples {
+			if s.T == minute*60 {
+				return s.Candidates
+			}
+		}
+		t.Fatalf("no sample at minute %v", minute)
+		return -1
+	}
+	// Start: regular cost → 4 candidates.
+	if got := pool(10); got != 4 {
+		t.Errorf("pool at t+10 = %d, want 4", got)
+	}
+	// Event 1: progressive 4→6→8 reaching 8 at t+60.
+	if got := pool(50); got != 6 {
+		t.Errorf("pool at t+50 = %d, want 6 (progressive start)", got)
+	}
+	if got := pool(60); got != 8 {
+		t.Errorf("pool at t+60 = %d, want 8", got)
+	}
+	// Event 2: all 12 nodes in use by t+120 and held through t+160.
+	if got := pool(120); got != 12 {
+		t.Errorf("pool at t+120 = %d, want 12", got)
+	}
+	if got := pool(150); got != 12 {
+		t.Errorf("pool at t+150 = %d, want 12", got)
+	}
+	// Event 3: heat detected at t+160 → down to 2 in 3 steps.
+	if got := pool(160); got != 8 {
+		t.Errorf("pool at t+160 = %d, want 8 (first step down)", got)
+	}
+	if got := pool(180); got != 2 {
+		t.Errorf("pool at t+180 = %d, want 2", got)
+	}
+	if got := pool(230); got != 2 {
+		t.Errorf("pool at t+230 = %d, want 2 (held during heat)", got)
+	}
+	// Event 4: recovery ramp toward 12.
+	if got := pool(250); got <= 2 {
+		t.Errorf("pool at t+250 = %d, want recovery above 2", got)
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if last.Candidates <= pool(230) {
+		t.Error("pool must be re-ramping at the end of the run")
+	}
+}
+
+func TestAdaptivePowerTracksPool(t *testing.T) {
+	res, err := RunAdaptive(adaptiveConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMinute := map[float64]AdaptiveSample{}
+	for _, s := range res.Samples {
+		byMinute[s.T/60] = s
+	}
+	// Power while 12 nodes run (t+150) must exceed power with 4
+	// candidates (t+30) and power during the heat trough (t+230).
+	if byMinute[150].AvgW <= byMinute[30].AvgW {
+		t.Errorf("full-platform draw %.0f W should exceed 4-node draw %.0f W",
+			byMinute[150].AvgW, byMinute[30].AvgW)
+	}
+	if byMinute[150].AvgW <= byMinute[230].AvgW {
+		t.Errorf("full-platform draw %.0f W should exceed heat-trough draw %.0f W",
+			byMinute[150].AvgW, byMinute[230].AvgW)
+	}
+	// The energy drop lags the candidate drop: at the first step down
+	// (t+160) draw is still near the full-platform level.
+	if byMinute[170].AvgW >= byMinute[150].AvgW {
+		// By t+170 the drop must have started.
+		t.Errorf("draw at t+170 (%.0f W) should be below full-platform (%.0f W)",
+			byMinute[170].AvgW, byMinute[150].AvgW)
+	}
+	if res.DrainLagS <= 0 {
+		t.Error("drain lag should be positive (tasks complete before shutdown)")
+	}
+}
+
+func TestAdaptiveProgressiveBoots(t *testing.T) {
+	res, err := RunAdaptive(adaptiveConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4→8→12→(drop)→re-ramp: boots happen in increments of ≤ StepUp
+	// per planner tick, so the total count is bounded but non-zero.
+	if res.Boots == 0 {
+		t.Fatal("no boots recorded")
+	}
+	// Pool never exceeds the platform and never goes below MinNodes
+	// after the start.
+	for _, d := range res.Decisions {
+		if d.Pool > 12 || d.Pool < 2 {
+			t.Fatalf("pool %d outside [2,12] at %v", d.Pool, d.At)
+		}
+		if d.Changed > 2 || d.Changed < -4 {
+			t.Fatalf("pool step %d outside [-4,+2] at %v", d.Changed, d.At)
+		}
+	}
+}
+
+func TestAdaptiveClientTracksCapacity(t *testing.T) {
+	res, err := RunAdaptive(adaptiveConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no tasks completed")
+	}
+	// While the full platform is up (t+120..160), the client should
+	// keep it essentially saturated: running ≈ capacity (104 slots).
+	for _, s := range res.Samples {
+		m := s.T / 60
+		if m >= 130 && m <= 160 && s.Running < 90 {
+			t.Errorf("at t+%v only %d tasks running; closed loop should saturate ~104 slots", m, s.Running)
+		}
+	}
+	if res.EnergyJ <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestAdaptiveDeterminism(t *testing.T) {
+	a, err := RunAdaptive(adaptiveConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAdaptive(adaptiveConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EnergyJ != b.EnergyJ || a.Completed != b.Completed || len(a.Samples) != len(b.Samples) {
+		t.Fatal("same seed diverged")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d diverged", i)
+		}
+	}
+}
+
+func BenchmarkAdaptiveRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAdaptive(adaptiveConfig(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+
+	"greensched/internal/power"
+	"greensched/internal/simtime"
+)
+
+// This file is the simulator's generic control-plane hook: an external
+// controller (package consolidation, or any future autonomic manager)
+// observes node state on a fixed virtual-time cadence and issues
+// power-on/power-off decisions. The §IV-C adaptive experiment predates
+// this hook and drives its pool directly (adaptive.go); new
+// controllers should use Config.OnControl.
+
+// NodeView is the controller-visible state of one SED at a tick.
+type NodeView struct {
+	Name    string
+	Cluster string
+	State   power.State
+	Slots   int     // concurrent task capacity
+	Running int     // tasks executing now
+	Queued  int     // tasks waiting in the SED queue
+	Idle    float64 // seconds since the node last had work; 0 when busy
+
+	// Candidate reports whether the SED may be elected for new work.
+	// PowerOff clears it; PowerOn restores it.
+	Candidate bool
+}
+
+// Control is the surface handed to Config.OnControl each tick. All
+// operations happen at the tick's virtual time.
+type Control interface {
+	// Nodes lists every SED in platform order.
+	Nodes() []NodeView
+	// Unplaced counts submitted tasks that no server could accept
+	// (they retry every virtual second) — backlog pressure that the
+	// controller should answer by powering nodes on.
+	Unplaced() int
+	// PowerOff shuts an idle node down and removes it from candidacy.
+	// It refuses nodes that are not On, still have work, or are the
+	// last candidate.
+	PowerOff(name string) error
+	// PowerOn boots an Off node (or restores candidacy to a drained
+	// one). Capacity becomes available after the node's boot time.
+	PowerOn(name string) error
+}
+
+// runnerControl implements Control against a Runner at a fixed tick
+// time.
+type runnerControl struct {
+	r   *Runner
+	now float64
+}
+
+func (c *runnerControl) Nodes() []NodeView {
+	out := make([]NodeView, 0, len(c.r.seds))
+	for _, sed := range c.r.seds {
+		v := NodeView{
+			Name:      sed.node.Spec.Name,
+			Cluster:   sed.node.Spec.Cluster,
+			State:     sed.node.State(),
+			Slots:     sed.slots,
+			Running:   len(sed.running),
+			Queued:    len(sed.queue),
+			Candidate: sed.candidate,
+		}
+		if v.State == power.On && v.Running == 0 && v.Queued == 0 {
+			v.Idle = c.now - sed.idleAt
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func (c *runnerControl) Unplaced() int { return c.r.unplaced }
+
+func (c *runnerControl) PowerOff(name string) error {
+	sed := c.r.sedByName(name)
+	if sed == nil {
+		return fmt.Errorf("sim: PowerOff of unknown node %q", name)
+	}
+	if sed.node.State() != power.On {
+		return fmt.Errorf("sim: PowerOff of %s in state %v", name, sed.node.State())
+	}
+	if len(sed.running) > 0 || len(sed.queue) > 0 {
+		return fmt.Errorf("sim: PowerOff of %s with %d running / %d queued tasks",
+			name, len(sed.running), len(sed.queue))
+	}
+	if c.candidates() <= 1 && sed.candidate {
+		return fmt.Errorf("sim: PowerOff of %s would leave no candidate", name)
+	}
+	if err := sed.node.PowerOff(c.now); err != nil {
+		return err
+	}
+	sed.candidate = false
+	c.r.res.Shutdowns++
+	return nil
+}
+
+func (c *runnerControl) PowerOn(name string) error {
+	sed := c.r.sedByName(name)
+	if sed == nil {
+		return fmt.Errorf("sim: PowerOn of unknown node %q", name)
+	}
+	switch sed.node.State() {
+	case power.On:
+		sed.candidate = true // drained node returning to candidacy
+		return nil
+	case power.Booting:
+		return nil // boot already in flight
+	}
+	done, err := sed.node.PowerOn(c.now)
+	if err != nil {
+		return err
+	}
+	sed.candidate = true
+	c.r.res.Boots++
+	idx := sed.idx
+	c.r.eng.At(simtime.Time(done), "boot-done", func(t simtime.Time) {
+		s := c.r.seds[idx]
+		if s.node.State() != power.Booting {
+			return
+		}
+		if err := s.node.BootDone(t.Seconds()); err != nil {
+			panic(fmt.Sprintf("sim: %v", err))
+		}
+		s.idleAt = t.Seconds()
+	})
+	return nil
+}
+
+func (c *runnerControl) candidates() int {
+	n := 0
+	for _, sed := range c.r.seds {
+		if sed.candidate {
+			n++
+		}
+	}
+	return n
+}
+
+// sedByName resolves a node name via the platform index.
+func (r *Runner) sedByName(name string) *sedState {
+	idx := r.cfg.Platform.Find(name)
+	if idx < 0 {
+		return nil
+	}
+	return r.seds[idx]
+}
+
+// scheduleControl arms the recurring controller tick. Ticking stops
+// once every task has completed so the event queue can drain.
+func (r *Runner) scheduleControl(every float64) {
+	r.eng.After(every, "control", func(t simtime.Time) {
+		if r.res.Completed >= len(r.cfg.Tasks) {
+			return
+		}
+		r.cfg.OnControl(t.Seconds(), &runnerControl{r: r, now: t.Seconds()})
+		r.scheduleControl(every)
+	})
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"greensched/internal/cluster"
+	"greensched/internal/sched"
+	"greensched/internal/workload"
+)
+
+// TestReplayCrossPolicy records an arrival schedule, round-trips it
+// through the on-disk trace format, and re-runs it under a different
+// policy: identical arrivals, different placements — the experiment
+// design the CLI's `replay` command supports.
+func TestReplayCrossPolicy(t *testing.T) {
+	orig, err := workload.BurstThenRate{Total: 40, Burst: 8, Rate: 0.5, Ops: 3e11}.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := workload.WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := workload.ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(orig) {
+		t.Fatalf("round trip lost tasks: %d vs %d", len(replayed), len(orig))
+	}
+	for i := range orig {
+		if replayed[i].Submit != orig[i].Submit || replayed[i].Ops != orig[i].Ops {
+			t.Fatalf("task %d changed in round trip: %+v vs %+v", i, replayed[i], orig[i])
+		}
+	}
+
+	platform := cluster.PaperPlatform()
+	run := func(tasks []workload.Task, kind sched.Kind) *Result {
+		res, err := Run(Config{
+			Platform: platform,
+			Policy:   sched.New(kind),
+			Tasks:    tasks,
+			Explore:  kind != sched.Random,
+			Seed:     7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Same trace, same policy, same seed → bit-identical outcome.
+	a := run(orig, sched.Power)
+	b := run(replayed, sched.Power)
+	if a.Makespan != b.Makespan || a.EnergyJ != b.EnergyJ {
+		t.Errorf("replay of identical trace diverged: %.2f/%.2f vs %.2f/%.2f",
+			a.Makespan, a.EnergyJ, b.Makespan, b.EnergyJ)
+	}
+
+	// Same trace, different policy → different placement, same work.
+	c := run(replayed, sched.Performance)
+	if c.Completed != b.Completed {
+		t.Errorf("policies completed different task counts: %d vs %d", c.Completed, b.Completed)
+	}
+	samePlacement := true
+	for node, n := range b.PerNodeTasks {
+		if c.PerNodeTasks[node] != n {
+			samePlacement = false
+			break
+		}
+	}
+	if samePlacement {
+		t.Error("POWER and PERFORMANCE produced identical placements on a heterogeneous platform")
+	}
+}

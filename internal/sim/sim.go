@@ -1,0 +1,557 @@
+// Package sim is the deterministic discrete-event simulator that
+// executes the paper's experiments: it drives a cluster.Platform
+// through the DIET scheduling loop (estimation vectors → plug-in
+// policy sort → SED election → execution) on virtual time, with exact
+// piecewise-constant energy accounting and the dynamic learning of
+// power/performance estimates described in §III-A.
+//
+// The simulator replaces the GRID'5000 testbed, not the scheduler: the
+// policy, selection and estimation code paths are the same ones the
+// live middleware (package middleware) uses.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"greensched/internal/cluster"
+	"greensched/internal/estvec"
+	"greensched/internal/power"
+	"greensched/internal/sched"
+	"greensched/internal/simtime"
+	"greensched/internal/workload"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Platform *cluster.Platform
+	Policy   sched.Policy
+	Tasks    []workload.Task
+
+	// QueueFactor bounds per-SED backlog (see sched.Selector); 0
+	// means the default 1.0.
+	QueueFactor float64
+	// RankAll elects purely on policy order across free and
+	// queued-under-cap servers (see sched.Selector.RankAll); used
+	// with score-based policies whose ordering prices waiting.
+	RankAll bool
+	// Explore enables the learning phase (ignored — always off — for
+	// the RANDOM policy, which needs no estimates).
+	Explore bool
+	// EstimatorWindow is the moving-average window in requests; 0
+	// means the default 64.
+	EstimatorWindow int
+	// SlotsPerNode caps concurrent tasks per node below its core
+	// count; §IV-B limits "each server ... to the computation of one
+	// task". 0 means one slot per core.
+	SlotsPerNode int
+
+	// Static seeds every estimator from a noiseless initial benchmark
+	// instead of learning dynamically (the paper's first, static
+	// approach; kept for the ablation bench).
+	Static bool
+
+	// Seed drives every stochastic element (RANDOM draws, jitter,
+	// meter faults).
+	Seed int64
+	// MeterNoiseW / MeterDropout configure wattmeter fault injection.
+	MeterNoiseW  float64
+	MeterDropout float64
+	// ExecJitter adds a relative uniform ±jitter to task execution
+	// times (hardware variance).
+	ExecJitter float64
+	// Contention slows a task down by Contention×(co-runners/cores)
+	// — memory-subsystem interference on loaded nodes. It makes the
+	// dynamic estimator's flops readings load-dependent, which is
+	// what spreads same-cluster rankings in practice (Figs. 2–3 show
+	// the whole preferred cluster used, not a single node).
+	Contention float64
+
+	// Crashes maps node names to crash times; running tasks are lost
+	// and resubmitted by the client.
+	Crashes map[string]float64
+
+	// SampleEvery records a platform power sample every so many
+	// seconds (0 disables the series).
+	SampleEvery float64
+
+	// OnFinish, when set, observes every completed task record as it
+	// happens (virtual time). External controllers — e.g. a budget
+	// tracker charging per-task energy — hook in here.
+	OnFinish func(TaskRecord)
+
+	// OnControl, when set with ControlEvery > 0, runs every
+	// ControlEvery virtual seconds with a Control surface over the
+	// platform: the hook for node power management policies such as
+	// idle-timeout consolidation (package consolidation). Ticks stop
+	// once all tasks complete.
+	OnControl    func(now float64, ctl Control)
+	ControlEvery float64
+}
+
+func (c *Config) defaults() error {
+	if c.Platform == nil || len(c.Platform.Nodes) == 0 {
+		return fmt.Errorf("sim: config needs a platform")
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("sim: config needs a policy")
+	}
+	if len(c.Tasks) == 0 {
+		return fmt.Errorf("sim: config needs tasks")
+	}
+	if c.QueueFactor <= 0 {
+		c.QueueFactor = 1.0
+	}
+	if c.EstimatorWindow <= 0 {
+		c.EstimatorWindow = 64
+	}
+	return nil
+}
+
+// TaskRecord is the fate of one task.
+type TaskRecord struct {
+	ID      int
+	Server  string
+	Cluster string
+	Submit  float64
+	Start   float64
+	Finish  float64
+	// MeanPowerW is the wattmeter-measured mean node draw over the
+	// task's execution (what the dynamic estimator consumed).
+	MeanPowerW float64
+	// Resubmits counts crash-induced re-executions.
+	Resubmits int
+}
+
+// Wait returns queueing delay (start − submit).
+func (r TaskRecord) Wait() float64 { return r.Start - r.Submit }
+
+// Exec returns execution time (finish − start).
+func (r TaskRecord) Exec() float64 { return r.Finish - r.Start }
+
+// Point is one sample of the platform power series.
+type Point struct {
+	T float64
+	W float64 // aggregate instantaneous draw
+}
+
+// Result aggregates one run.
+type Result struct {
+	Policy   string
+	Makespan float64      // completion time of the last task
+	EnergyJ  power.Joules // whole-platform energy over [0, makespan]
+
+	PerNodeTasks     map[string]int
+	PerNodeEnergyJ   map[string]power.Joules
+	PerClusterTasks  map[string]int
+	PerClusterEnergy map[string]power.Joules
+
+	Records []TaskRecord
+	Series  []Point
+
+	Completed int
+	Crashed   int // task executions lost to crashes (each resubmitted)
+
+	// Boots and Shutdowns count controller-issued power transitions
+	// (zero unless Config.OnControl is set).
+	Boots     int
+	Shutdowns int
+}
+
+// MeanWait returns the average queueing delay across completed tasks.
+func (r *Result) MeanWait() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, rec := range r.Records {
+		sum += rec.Wait()
+	}
+	return sum / float64(len(r.Records))
+}
+
+// sedState is one SED: a node plus its queue, estimator and meter.
+type sedState struct {
+	idx   int
+	node  *cluster.Node
+	est   *power.Estimator
+	meter *power.Wattmeter
+
+	slots   int
+	queue   []pendingTask
+	running map[int]*runningTask // task ID → record
+
+	// static holds the benchmark calibration when Config.Static is
+	// set; estimates then never change at runtime.
+	static *cluster.Calibration
+
+	// candidate marks the SED as eligible for new work (the adaptive
+	// experiment toggles this; the placement experiments keep all
+	// SEDs candidates).
+	candidate bool
+
+	// idleAt is the virtual time the node last became workless; the
+	// controller hook reads it to apply idle timeouts. Meaningful only
+	// while running and queue are empty.
+	idleAt float64
+}
+
+type pendingTask struct {
+	task      workload.Task
+	resubmits int
+	// waiting marks a task already counted in Runner.unplaced while it
+	// retries election.
+	waiting bool
+}
+
+type runningTask struct {
+	task      workload.Task
+	start     float64
+	finish    *simtime.Event
+	resubmits int
+}
+
+func (s *sedState) freeSlots() int {
+	if s.node.State() != power.On {
+		return 0
+	}
+	free := s.slots - len(s.running)
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// waitEstimate computes ws: the time a newly queued task would wait
+// before starting, from the SED's exact knowledge of its running and
+// queued work (§III-C assumes task durations are known to the
+// scheduler).
+func (s *sedState) waitEstimate(now float64) float64 {
+	if s.freeSlots() > 0 && len(s.queue) == 0 {
+		return 0
+	}
+	// Slot-availability times: running tasks' finish times, padded
+	// with "now" for free slots.
+	avail := make([]float64, 0, s.slots)
+	for _, rt := range s.running {
+		avail = append(avail, rt.finish.At.Seconds())
+	}
+	for len(avail) < s.slots {
+		avail = append(avail, now)
+	}
+	sort.Float64s(avail)
+	// Drain the queue ahead of the hypothetical new task.
+	for _, p := range s.queue {
+		start := avail[0]
+		exec := s.node.Spec.TaskSeconds(p.task.Ops)
+		avail[0] = start + exec
+		sort.Float64s(avail)
+	}
+	w := avail[0] - now
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// vector builds the SED's estimation vector — the default estimation
+// function of the paper's plug-in scheduler, extended with the energy
+// tags (§III-A: "These metrics are incorporated into DIET SED to
+// populate its estimation vector using new tags").
+func (s *sedState) vector(now float64, rng *rand.Rand) *estvec.Vector {
+	v := estvec.New(s.node.Spec.Name).
+		Set(estvec.TagFreeCores, float64(s.freeSlots())).
+		Set(sched.TagCores(), float64(s.slots)).
+		Set(estvec.TagQueueLen, float64(len(s.queue))).
+		Set(estvec.TagWaitSec, s.waitEstimate(now)).
+		Set(estvec.TagBootSec, s.node.Spec.BootSec).
+		Set(estvec.TagBootPowerW, s.node.Spec.BootW).
+		SetBool(estvec.TagActive, s.candidate && s.node.State() == power.On).
+		Set(estvec.TagRandom, rng.Float64())
+
+	if s.static != nil {
+		v.SetBool(estvec.TagKnown, true).
+			Set(estvec.TagRequests, 1e9). // static: never "novice"
+			Set(estvec.TagFlops, s.static.Flops).
+			Set(estvec.TagPowerW, s.static.MeanWatts).
+			Set(estvec.TagGreenPerf, s.static.GreenPerf())
+		return v
+	}
+
+	v.SetBool(estvec.TagKnown, s.est.Known()).
+		Set(estvec.TagRequests, float64(s.est.Requests()))
+	if f, ok := s.est.Flops(); ok {
+		v.Set(estvec.TagFlops, f)
+	}
+	if p, ok := s.est.Power(); ok {
+		v.Set(estvec.TagPowerW, p)
+	}
+	if gp, ok := s.est.GreenPerf(); ok {
+		v.Set(estvec.TagGreenPerf, gp)
+	}
+	return v
+}
+
+// Runner executes one configured simulation.
+type Runner struct {
+	cfg  Config
+	eng  *simtime.Engine
+	rng  *rand.Rand
+	seds []*sedState
+	sel  *sched.Selector
+	res  *Result
+
+	lastFinish float64
+	unplaced   int // submitted tasks no server could accept yet
+}
+
+// NewRunner validates the config and builds the initial state.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	for _, t := range cfg.Tasks {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	r := &Runner{
+		cfg: cfg,
+		eng: simtime.NewEngine(),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		res: &Result{
+			Policy:           cfg.Policy.Name(),
+			PerNodeTasks:     make(map[string]int),
+			PerNodeEnergyJ:   make(map[string]power.Joules),
+			PerClusterTasks:  make(map[string]int),
+			PerClusterEnergy: make(map[string]power.Joules),
+		},
+	}
+	r.sel = &sched.Selector{Policy: cfg.Policy, QueueFactor: cfg.QueueFactor, Explore: cfg.Explore, RankAll: cfg.RankAll}
+	for i, spec := range cfg.Platform.Nodes {
+		meter := power.NewWattmeter(0, cfg.Seed+int64(i)+1)
+		meter.NoiseW = cfg.MeterNoiseW
+		meter.DropoutRate = cfg.MeterDropout
+		slots := spec.Cores
+		if cfg.SlotsPerNode > 0 && cfg.SlotsPerNode < slots {
+			slots = cfg.SlotsPerNode
+		}
+		sed := &sedState{
+			idx:       i,
+			node:      cluster.NewNode(spec, 0, meter),
+			est:       power.NewEstimator(cfg.EstimatorWindow),
+			meter:     meter,
+			slots:     slots,
+			running:   make(map[int]*runningTask),
+			candidate: true,
+		}
+		if cfg.Static {
+			cal := cluster.BenchmarkNode(spec, 1e9, 0, nil)
+			sed.static = &cal
+		}
+		r.seds = append(r.seds, sed)
+	}
+	return r, nil
+}
+
+// Run executes the simulation to completion and returns the result.
+func Run(cfg Config) (*Result, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// Run drives the event loop until all tasks complete.
+func (r *Runner) Run() (*Result, error) {
+	for _, task := range r.cfg.Tasks {
+		task := task
+		r.eng.At(simtime.Time(task.Submit), "arrival", func(now simtime.Time) {
+			r.onArrival(now.Seconds(), pendingTask{task: task})
+		})
+	}
+	for name, at := range r.cfg.Crashes {
+		idx := r.cfg.Platform.Find(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("sim: crash configured for unknown node %q", name)
+		}
+		sed := r.seds[idx]
+		r.eng.At(simtime.Time(at), "crash", func(now simtime.Time) {
+			r.onCrash(now.Seconds(), sed)
+		})
+	}
+	if r.cfg.SampleEvery > 0 {
+		r.scheduleSample(r.cfg.SampleEvery)
+	}
+	if r.cfg.OnControl != nil && r.cfg.ControlEvery > 0 {
+		r.scheduleControl(r.cfg.ControlEvery)
+	}
+	// Budget: generous multiple of task count, to catch livelocks
+	// without bounding legitimate runs.
+	budget := uint64(len(r.cfg.Tasks))*64 + 1<<20
+	if _, err := r.eng.Run(budget); err != nil {
+		return nil, err
+	}
+	if r.res.Completed != len(r.cfg.Tasks) {
+		return nil, fmt.Errorf("sim: only %d of %d tasks completed (stuck queue?)", r.res.Completed, len(r.cfg.Tasks))
+	}
+	r.finalize()
+	return r.res, nil
+}
+
+func (r *Runner) onArrival(now float64, p pendingTask) {
+	list := make(estvec.List, 0, len(r.seds))
+	for _, sed := range r.seds {
+		list = append(list, sed.vector(now, r.rng))
+	}
+	chosen, err := r.sel.Select(list)
+	if err != nil {
+		// No candidate can take the request (all powered off):
+		// retry shortly — a controller (or the adaptive experiment)
+		// powers nodes back on; the placement experiments never hit
+		// this. Count it once so controllers see the backlog.
+		if !p.waiting {
+			p.waiting = true
+			r.unplaced++
+		}
+		r.eng.After(1.0, "retry", func(t2 simtime.Time) { r.onArrival(t2.Seconds(), p) })
+		return
+	}
+	if p.waiting {
+		p.waiting = false
+		r.unplaced--
+	}
+	sed := r.seds[r.cfg.Platform.Find(chosen.Server)]
+	if sed.freeSlots() > 0 {
+		r.startTask(now, sed, p)
+	} else {
+		sed.queue = append(sed.queue, p)
+	}
+}
+
+func (r *Runner) startTask(now float64, sed *sedState, p pendingTask) {
+	if err := sed.node.StartTask(now); err != nil {
+		panic(fmt.Sprintf("sim: %v (selector bug)", err))
+	}
+	exec := sed.node.Spec.TaskSeconds(p.task.Ops)
+	if c := r.cfg.Contention; c > 0 {
+		coRunners := float64(sed.node.BusyCores()-1) / float64(sed.node.Spec.Cores)
+		exec /= 1 - c*coRunners
+	}
+	if j := r.cfg.ExecJitter; j > 0 {
+		exec *= 1 + (r.rng.Float64()*2-1)*j
+	}
+	rt := &runningTask{task: p.task, start: now, resubmits: p.resubmits}
+	rt.finish = r.eng.After(exec, "finish", func(t simtime.Time) {
+		r.onFinish(t.Seconds(), sed, rt)
+	})
+	sed.running[p.task.ID] = rt
+}
+
+func (r *Runner) onFinish(now float64, sed *sedState, rt *runningTask) {
+	delete(sed.running, rt.task.ID)
+	duringW := sed.node.Power() // draw while the task was still running
+	if err := sed.node.FinishTask(now); err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	meanW, n := sed.meter.MeanWindow(rt.start, now)
+	if n == 0 {
+		// Task shorter than the meter period: attribute the draw
+		// the node had while the task ran.
+		meanW = duringW
+	}
+	exec := now - rt.start
+	if sed.static == nil {
+		sed.est.ObserveRequest(meanW, rt.task.Ops, exec)
+	}
+	rec := TaskRecord{
+		ID:         rt.task.ID,
+		Server:     sed.node.Spec.Name,
+		Cluster:    sed.node.Spec.Cluster,
+		Submit:     rt.task.Submit,
+		Start:      rt.start,
+		Finish:     now,
+		MeanPowerW: meanW,
+		Resubmits:  rt.resubmits,
+	}
+	r.res.Records = append(r.res.Records, rec)
+	r.res.Completed++
+	if r.cfg.OnFinish != nil {
+		r.cfg.OnFinish(rec)
+	}
+	r.res.PerNodeTasks[rec.Server]++
+	r.res.PerClusterTasks[rec.Cluster]++
+	if now > r.lastFinish {
+		r.lastFinish = now
+	}
+	r.drainQueue(now, sed)
+	if len(sed.running) == 0 && len(sed.queue) == 0 {
+		sed.idleAt = now
+	}
+}
+
+func (r *Runner) drainQueue(now float64, sed *sedState) {
+	for len(sed.queue) > 0 && sed.freeSlots() > 0 {
+		p := sed.queue[0]
+		sed.queue = sed.queue[1:]
+		r.startTask(now, sed, p)
+	}
+}
+
+func (r *Runner) onCrash(now float64, sed *sedState) {
+	// Collect and cancel in-flight work, then fail the node.
+	var lost []pendingTask
+	for id, rt := range sed.running {
+		r.eng.Cancel(rt.finish)
+		lost = append(lost, pendingTask{task: rt.task, resubmits: rt.resubmits + 1})
+		delete(sed.running, id)
+	}
+	for _, p := range sed.queue {
+		lost = append(lost, pendingTask{task: p.task, resubmits: p.resubmits + 1})
+	}
+	sed.queue = nil
+	sed.node.Crash(now)
+	sed.candidate = false
+	r.res.Crashed += len(lost)
+	// Deterministic resubmission order.
+	sort.Slice(lost, func(i, j int) bool { return lost[i].task.ID < lost[j].task.ID })
+	for _, p := range lost {
+		p := p
+		r.eng.After(0, "resubmit", func(t simtime.Time) { r.onArrival(t.Seconds(), p) })
+	}
+}
+
+func (r *Runner) scheduleSample(period float64) {
+	r.eng.After(period, "sample", func(now simtime.Time) {
+		total := 0.0
+		for _, sed := range r.seds {
+			total += sed.node.Power()
+		}
+		r.res.Series = append(r.res.Series, Point{T: now.Seconds(), W: total})
+		// Keep sampling while work remains.
+		if r.res.Completed < len(r.cfg.Tasks) {
+			r.scheduleSample(period)
+		}
+	})
+}
+
+func (r *Runner) finalize() {
+	makespan := r.lastFinish
+	r.res.Makespan = makespan
+	for _, sed := range r.seds {
+		// A controller-issued boot can complete after the last task
+		// finish; never settle a node backwards — its boot energy is
+		// real (and honestly charged to the run that wasted it).
+		end := makespan
+		if t := sed.node.LastSettle(); t > end {
+			end = t
+		}
+		sed.node.Settle(end)
+		e := sed.node.Energy()
+		r.res.PerNodeEnergyJ[sed.node.Spec.Name] = e
+		r.res.PerClusterEnergy[sed.node.Spec.Cluster] += e
+		r.res.EnergyJ += e
+	}
+}

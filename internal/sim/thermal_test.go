@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+
+	"greensched/internal/cluster"
+	"greensched/internal/provision"
+	"greensched/internal/sched"
+	"greensched/internal/thermal"
+)
+
+// thermalConfig builds an adaptive run where temperature is measured
+// from the room model instead of injected: constant cheap electricity
+// invites the planner to 100% of nodes, but full load heats the room
+// past the 25 °C rule, forcing it back down — the §IV-C control loop
+// closed end to end.
+func thermalConfig(t *testing.T, seed int64) AdaptiveConfig {
+	t.Helper()
+	store := provision.NewStore()
+	store.Put(provision.Record{Value: 0, Cost: 0.2, Temperature: 21})
+	planner := provision.NewPlanner(12, 4)
+	planner.MinNodes = 2
+	// Coefficients chosen so a fully loaded platform (~3.9 kW) heats
+	// the hottest inlet past 25 °C while a 4-node pool stays in range.
+	d, err := thermal.UniformRack(12, 4, 0.0055, 0.001, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := thermal.NewMonitor(21, d, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return AdaptiveConfig{
+		Platform: cluster.PaperPlatform(),
+		Planner:  planner,
+		Store:    store,
+		Policy:   sched.New(sched.GreenPerf),
+		TaskOps:  1.8e12,
+		Horizon:  200 * 60,
+		Thermal:  mon,
+		Seed:     seed,
+	}
+}
+
+func TestThermalLoopThrottlesHeat(t *testing.T) {
+	res, err := RunAdaptive(thermalConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cheap-cost rule must have ramped the pool up...
+	sawHigh := false
+	for _, d := range res.Decisions {
+		if d.Pool >= 10 {
+			sawHigh = true
+		}
+	}
+	if !sawHigh {
+		t.Fatal("planner never ramped toward the cheap-cost quota")
+	}
+	// ...and the measured heat must have triggered the heat rule.
+	sawHeat := false
+	for _, d := range res.Decisions {
+		if d.RuleNow == "heat" {
+			sawHeat = true
+			if d.Status.Temperature <= provision.DefaultHeatThreshold {
+				t.Fatalf("heat rule fired at %v °C", d.Status.Temperature)
+			}
+		}
+	}
+	if !sawHeat {
+		t.Fatal("measured temperature never triggered the heat rule")
+	}
+	// After a heat-driven shrink the platform must cool back below
+	// the threshold at some later decision (the loop regulates).
+	cooled := false
+	heatSeen := false
+	for _, d := range res.Decisions {
+		if d.RuleNow == "heat" {
+			heatSeen = true
+		}
+		if heatSeen && d.RuleNow != "heat" {
+			cooled = true
+		}
+	}
+	if !cooled {
+		t.Fatal("platform never cooled back below the threshold")
+	}
+}
+
+func TestThermalMeasurementsLandInStore(t *testing.T) {
+	cfg := thermalConfig(t, 2)
+	res, err := RunAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no work done")
+	}
+	// The store must now contain measured (unexpected) records with
+	// plausible temperatures.
+	recs := cfg.Store.Window(1, int64(cfg.Horizon))
+	measured := 0
+	for _, r := range recs {
+		if r.Unexpected {
+			measured++
+			if r.Temperature < 20 || r.Temperature > 40 {
+				t.Fatalf("implausible measured temperature %v", r.Temperature)
+			}
+			if r.Cost != 0.2 {
+				t.Fatalf("measurement clobbered the cost: %v", r.Cost)
+			}
+		}
+	}
+	if measured < 10 {
+		t.Fatalf("only %d measured records; expected one per planner tick", measured)
+	}
+}
+
+func TestThermalDeterminism(t *testing.T) {
+	a, err := RunAdaptive(thermalConfig(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAdaptive(thermalConfig(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EnergyJ != b.EnergyJ || a.Completed != b.Completed {
+		t.Fatal("thermal adaptive run not deterministic")
+	}
+}

@@ -1,0 +1,37 @@
+package thermal
+
+import (
+	"greensched/internal/estvec"
+	"greensched/internal/sched"
+)
+
+// TagInletTemp is the estimation-vector tag thermal-aware SEDs set to
+// their measured inlet temperature.
+const TagInletTemp = estvec.Tag("inlet_temp_c")
+
+// AwarePolicy is a spatial/thermal plug-in scheduler: servers whose
+// inlet temperature is below Threshold rank before hot ones; within
+// each group the Inner policy orders as usual. Servers that do not
+// report a temperature are treated as cool (fail-open: a missing
+// sensor must not starve a node).
+type AwarePolicy struct {
+	Inner     sched.Policy
+	Threshold float64 // °C
+}
+
+// Name implements sched.Policy.
+func (p AwarePolicy) Name() string { return "THERMAL(" + p.Inner.Name() + ")" }
+
+// Less implements sched.Policy.
+func (p AwarePolicy) Less(a, b *estvec.Vector) bool {
+	ha, hb := p.hot(a), p.hot(b)
+	if ha != hb {
+		return !ha // cool before hot
+	}
+	return p.Inner.Less(a, b)
+}
+
+func (p AwarePolicy) hot(v *estvec.Vector) bool {
+	t, ok := v.Get(TagInletTemp)
+	return ok && t > p.Threshold
+}

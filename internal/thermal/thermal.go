@@ -1,0 +1,152 @@
+// Package thermal models machine-room heat so that the §IV-C
+// temperature signal can be *measured* instead of injected, and so
+// placement can use spatial information (the paper's future work:
+// "fine-grained scheduling by taking into account spatial
+// information").
+//
+// The model is the standard heat-recirculation abstraction: node i's
+// inlet temperature is the cooled ambient plus a weighted sum of every
+// node's dissipated power,
+//
+//	T_i = ambient + Σ_j D[i][j] · W_j
+//
+// where D captures rack adjacency and airflow recirculation. A
+// first-order thermal inertia smooths step changes.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a heat-recirculation matrix in °C per watt: D[i][j] is the
+// temperature rise at node i's inlet per watt dissipated by node j.
+type Matrix [][]float64
+
+// Validate checks shape and non-negativity.
+func (d Matrix) Validate() error {
+	n := len(d)
+	if n == 0 {
+		return fmt.Errorf("thermal: empty matrix")
+	}
+	for i, row := range d {
+		if len(row) != n {
+			return fmt.Errorf("thermal: row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("thermal: D[%d][%d] = %v invalid", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// UniformRack builds a recirculation matrix for n nodes arranged in a
+// single row of racks of rackSize nodes: a node heats itself by self,
+// same-rack peers by neighbor, and other racks by neighbor·decay^dist
+// (rack-distance exponential decay).
+func UniformRack(n, rackSize int, self, neighbor, decay float64) (Matrix, error) {
+	if n <= 0 || rackSize <= 0 {
+		return nil, fmt.Errorf("thermal: need positive node and rack sizes")
+	}
+	if self < 0 || neighbor < 0 || decay < 0 || decay > 1 {
+		return nil, fmt.Errorf("thermal: invalid coefficients")
+	}
+	d := make(Matrix, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			switch {
+			case i == j:
+				d[i][j] = self
+			case i/rackSize == j/rackSize:
+				d[i][j] = neighbor
+			default:
+				dist := math.Abs(float64(i/rackSize - j/rackSize))
+				d[i][j] = neighbor * math.Pow(decay, dist)
+			}
+		}
+	}
+	return d, nil
+}
+
+// Monitor tracks smoothed per-node inlet temperatures.
+type Monitor struct {
+	Ambient float64 // cooled supply temperature, °C
+	D       Matrix
+	// Alpha is the first-order smoothing factor per update in (0,1];
+	// 1 means no inertia.
+	Alpha float64
+
+	temps  []float64
+	inited bool
+}
+
+// NewMonitor builds a monitor; temperatures start at ambient.
+func NewMonitor(ambient float64, d Matrix, alpha float64) (*Monitor, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("thermal: alpha %v outside (0,1]", alpha)
+	}
+	return &Monitor{Ambient: ambient, D: d, Alpha: alpha, temps: make([]float64, len(d))}, nil
+}
+
+// Update folds in the current per-node draws (watts, same index space
+// as D) and returns the smoothed inlet temperatures. The slice is
+// reused across calls; callers must not retain it.
+func (m *Monitor) Update(watts []float64) ([]float64, error) {
+	if len(watts) != len(m.D) {
+		return nil, fmt.Errorf("thermal: %d watt readings for %d nodes", len(watts), len(m.D))
+	}
+	for i := range m.temps {
+		steady := m.Ambient
+		for j, w := range watts {
+			steady += m.D[i][j] * w
+		}
+		if !m.inited {
+			m.temps[i] = steady
+		} else {
+			m.temps[i] += m.Alpha * (steady - m.temps[i])
+		}
+	}
+	m.inited = true
+	return m.temps, nil
+}
+
+// Temps returns the current temperatures (ambient before the first
+// update).
+func (m *Monitor) Temps() []float64 {
+	if !m.inited {
+		out := make([]float64, len(m.D))
+		for i := range out {
+			out[i] = m.Ambient
+		}
+		return out
+	}
+	return m.temps
+}
+
+// Max returns the hottest inlet temperature — the room signal the
+// §IV-C administrator rules threshold on.
+func (m *Monitor) Max() float64 {
+	max := m.Ambient
+	for _, t := range m.Temps() {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Mean returns the average inlet temperature.
+func (m *Monitor) Mean() float64 {
+	ts := m.Temps()
+	sum := 0.0
+	for _, t := range ts {
+		sum += t
+	}
+	return sum / float64(len(ts))
+}

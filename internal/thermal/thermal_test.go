@@ -1,0 +1,190 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greensched/internal/estvec"
+	"greensched/internal/sched"
+)
+
+func TestMatrixValidate(t *testing.T) {
+	good := Matrix{{0.01, 0.002}, {0.002, 0.01}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Matrix{
+		{},                          // empty
+		{{0.1, 0.2}},                // not square
+		{{0.1, -0.1}, {0.1, 0.1}},   // negative
+		{{math.NaN(), 0}, {0, 0.1}}, // NaN
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("case %d: invalid matrix accepted", i)
+		}
+	}
+}
+
+func TestUniformRackStructure(t *testing.T) {
+	d, err := UniformRack(6, 2, 0.01, 0.004, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d[0][0] != 0.01 {
+		t.Fatalf("self coupling = %v", d[0][0])
+	}
+	if d[0][1] != 0.004 {
+		t.Fatalf("same-rack coupling = %v", d[0][1])
+	}
+	// Nodes 0 and 2 are one rack apart: neighbor × decay.
+	if d[0][2] != 0.002 {
+		t.Fatalf("adjacent-rack coupling = %v, want 0.002", d[0][2])
+	}
+	// Two racks apart: decay².
+	if d[0][4] != 0.001 {
+		t.Fatalf("two-rack coupling = %v, want 0.001", d[0][4])
+	}
+	if _, err := UniformRack(0, 2, 1, 1, 0.5); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := UniformRack(4, 2, 1, 1, 2); err == nil {
+		t.Fatal("decay > 1 accepted")
+	}
+}
+
+func TestMonitorSteadyState(t *testing.T) {
+	d := Matrix{{0.05, 0.01}, {0.01, 0.05}}
+	m, err := NewMonitor(20, d, 1) // no inertia
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps, err := m.Update([]float64{200, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T0 = 20 + 0.05·200 + 0.01·100 = 31; T1 = 20 + 2 + 5 = 27.
+	if math.Abs(temps[0]-31) > 1e-12 || math.Abs(temps[1]-27) > 1e-12 {
+		t.Fatalf("temps = %v, want [31 27]", temps)
+	}
+	if m.Max() != 31 {
+		t.Fatalf("Max = %v", m.Max())
+	}
+	if m.Mean() != 29 {
+		t.Fatalf("Mean = %v", m.Mean())
+	}
+}
+
+func TestMonitorInertia(t *testing.T) {
+	d := Matrix{{0.1}}
+	m, _ := NewMonitor(20, d, 0.5)
+	// First update initializes to steady state directly.
+	temps, _ := m.Update([]float64{100})
+	if temps[0] != 30 {
+		t.Fatalf("initial temp = %v, want 30", temps[0])
+	}
+	// Load vanishes: temperature decays halfway per update.
+	temps, _ = m.Update([]float64{0})
+	if temps[0] != 25 {
+		t.Fatalf("after decay = %v, want 25", temps[0])
+	}
+	temps, _ = m.Update([]float64{0})
+	if temps[0] != 22.5 {
+		t.Fatalf("after second decay = %v, want 22.5", temps[0])
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	d := Matrix{{0.1}}
+	if _, err := NewMonitor(20, Matrix{}, 1); err == nil {
+		t.Fatal("invalid matrix accepted")
+	}
+	if _, err := NewMonitor(20, d, 0); err == nil {
+		t.Fatal("zero alpha accepted")
+	}
+	if _, err := NewMonitor(20, d, 1.5); err == nil {
+		t.Fatal("alpha > 1 accepted")
+	}
+	m, _ := NewMonitor(20, d, 1)
+	if _, err := m.Update([]float64{1, 2}); err == nil {
+		t.Fatal("mismatched watt vector accepted")
+	}
+}
+
+func TestMonitorTempsBeforeUpdate(t *testing.T) {
+	m, _ := NewMonitor(21, Matrix{{0.1}, {0.1}}[:1], 1)
+	ts := m.Temps()
+	if len(ts) != 1 || ts[0] != 21 {
+		t.Fatalf("pre-update temps = %v", ts)
+	}
+	if m.Max() != 21 || m.Mean() != 21 {
+		t.Fatal("pre-update aggregates wrong")
+	}
+}
+
+func TestAwarePolicyPrefersCoolNodes(t *testing.T) {
+	inner := sched.New(sched.Power)
+	p := AwarePolicy{Inner: inner, Threshold: 25}
+	cool := estvec.New("cool").Set(estvec.TagPowerW, 300).Set(estvec.TagFlops, 1e9).
+		SetBool(estvec.TagActive, true).Set(TagInletTemp, 22)
+	hot := estvec.New("hot").Set(estvec.TagPowerW, 100).Set(estvec.TagFlops, 1e9).
+		SetBool(estvec.TagActive, true).Set(TagInletTemp, 28)
+	// Despite worse power, the cool node ranks first.
+	if !p.Less(cool, hot) || p.Less(hot, cool) {
+		t.Fatal("thermal policy must rank cool nodes first")
+	}
+	// Both cool: inner policy decides.
+	hot.Set(TagInletTemp, 20)
+	if !p.Less(hot, cool) {
+		t.Fatal("within the cool group POWER must decide")
+	}
+	// Missing sensor = treated cool.
+	noSensor := estvec.New("nosensor").Set(estvec.TagPowerW, 50).Set(estvec.TagFlops, 1e9).
+		SetBool(estvec.TagActive, true)
+	if !p.Less(noSensor, cool) {
+		t.Fatal("sensorless node should compete in the cool group by power")
+	}
+	if p.Name() != "THERMAL(POWER)" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+// Property: temperatures are monotone in load — more watts anywhere
+// never cools any node (non-negative recirculation).
+func TestPropertyMonotoneInLoad(t *testing.T) {
+	f := func(w1, w2, extra uint8) bool {
+		d, _ := UniformRack(3, 2, 0.02, 0.005, 0.5)
+		m1, _ := NewMonitor(20, d, 1)
+		m2, _ := NewMonitor(20, d, 1)
+		base := []float64{float64(w1), float64(w2), 50}
+		more := []float64{float64(w1) + float64(extra), float64(w2), 50}
+		t1, _ := m1.Update(base)
+		t2, _ := m2.Update(more)
+		for i := range t1 {
+			if t2[i] < t1[i]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMonitorUpdate(b *testing.B) {
+	d, _ := UniformRack(64, 8, 0.02, 0.005, 0.6)
+	m, _ := NewMonitor(20, d, 0.3)
+	watts := make([]float64, 64)
+	for i := range watts {
+		watts[i] = float64(100 + i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Update(watts)
+	}
+}

@@ -1,0 +1,198 @@
+// Package trace records structured simulation events and exports the
+// paper's figures as machine-readable artifacts (JSON lines and CSV)
+// for external plotting — the role the GRID'5000 measurement logs
+// played for the original evaluation.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"greensched/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds.
+const (
+	KindSubmit  Kind = "submit"
+	KindStart   Kind = "start"
+	KindFinish  Kind = "finish"
+	KindSample  Kind = "sample"
+	KindPool    Kind = "pool"
+	KindMeasure Kind = "measure"
+)
+
+// Event is one timestamped record.
+type Event struct {
+	T      float64           `json:"t"`
+	Kind   Kind              `json:"kind"`
+	Node   string            `json:"node,omitempty"`
+	TaskID int               `json:"task,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// Log is an append-only event collection. The zero value is ready.
+type Log struct {
+	events []Event
+}
+
+// Add appends an event.
+func (l *Log) Add(e Event) { l.events = append(l.events, e) }
+
+// Len returns the number of events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns the events sorted by time (stable on ties).
+func (l *Log) Events() []Event {
+	out := append([]Event(nil), l.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// Filter returns events of one kind, time-sorted.
+func (l *Log) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteJSONL streams the log as JSON lines.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSON-lines stream back into a log.
+func ReadJSONL(r io.Reader) (*Log, error) {
+	dec := json.NewDecoder(r)
+	l := &Log{}
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		l.Add(e)
+	}
+	return l, nil
+}
+
+// FromResult converts a placement simulation result into a trace log.
+func FromResult(res *sim.Result) *Log {
+	l := &Log{}
+	for _, rec := range res.Records {
+		attrs := map[string]string{"cluster": rec.Cluster}
+		l.Add(Event{T: rec.Submit, Kind: KindSubmit, TaskID: rec.ID, Attrs: attrs})
+		l.Add(Event{T: rec.Start, Kind: KindStart, Node: rec.Server, TaskID: rec.ID, Attrs: attrs})
+		l.Add(Event{T: rec.Finish, Kind: KindFinish, Node: rec.Server, TaskID: rec.ID,
+			Value: rec.MeanPowerW, Attrs: attrs})
+	}
+	for _, p := range res.Series {
+		l.Add(Event{T: p.T, Kind: KindSample, Value: p.W})
+	}
+	return l
+}
+
+// FromAdaptive converts an adaptive run into a trace log.
+func FromAdaptive(res *sim.AdaptiveResult) *Log {
+	l := &Log{}
+	for _, s := range res.Samples {
+		l.Add(Event{T: s.T, Kind: KindSample, Value: s.AvgW,
+			Attrs: map[string]string{"running": fmt.Sprint(s.Running)}})
+		l.Add(Event{T: s.T, Kind: KindPool, Value: float64(s.Candidates)})
+	}
+	for _, d := range res.Decisions {
+		l.Add(Event{T: d.At, Kind: KindMeasure, Value: d.Status.Temperature,
+			Attrs: map[string]string{"rule": d.RuleNow, "cost": fmt.Sprintf("%.2f", d.Status.Cost)}})
+	}
+	return l
+}
+
+// TasksPerNodeCSV renders the Figures 2-4 data (node,tasks).
+func TasksPerNodeCSV(res *sim.Result, nodeOrder []string) string {
+	var b strings.Builder
+	b.WriteString("node,tasks\n")
+	for _, n := range nodeOrder {
+		fmt.Fprintf(&b, "%s,%d\n", n, res.PerNodeTasks[n])
+	}
+	return b.String()
+}
+
+// ClusterEnergyCSV renders the Figure 5 data (cluster,joules).
+func ClusterEnergyCSV(res *sim.Result, clusterOrder []string) string {
+	var b strings.Builder
+	b.WriteString("cluster,energy_j\n")
+	for _, c := range clusterOrder {
+		fmt.Fprintf(&b, "%s,%.1f\n", c, res.PerClusterEnergy[c])
+	}
+	return b.String()
+}
+
+// AdaptiveCSV renders the Figure 9 data (minute,candidates,avg_w).
+func AdaptiveCSV(res *sim.AdaptiveResult) string {
+	var b strings.Builder
+	b.WriteString("minute,candidates,avg_w,running\n")
+	for _, s := range res.Samples {
+		fmt.Fprintf(&b, "%.0f,%d,%.1f,%d\n", s.T/60, s.Candidates, s.AvgW, s.Running)
+	}
+	return b.String()
+}
+
+// GanttRow is one task execution interval for timeline rendering.
+type GanttRow struct {
+	Node   string
+	TaskID int
+	Start  float64
+	End    float64
+}
+
+// Gantt extracts per-node execution intervals, ordered by node then
+// start time — the raw material for utilization timelines.
+func Gantt(res *sim.Result) []GanttRow {
+	rows := make([]GanttRow, 0, len(res.Records))
+	for _, rec := range res.Records {
+		rows = append(rows, GanttRow{Node: rec.Server, TaskID: rec.ID, Start: rec.Start, End: rec.Finish})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Node != rows[j].Node {
+			return rows[i].Node < rows[j].Node
+		}
+		return rows[i].Start < rows[j].Start
+	})
+	return rows
+}
+
+// Utilization computes the busy-core integral per node divided by the
+// makespan — the per-node utilization summary used in reports.
+func Utilization(res *sim.Result, cores map[string]int) map[string]float64 {
+	if res.Makespan <= 0 {
+		return nil
+	}
+	busy := map[string]float64{}
+	for _, rec := range res.Records {
+		busy[rec.Server] += rec.Finish - rec.Start
+	}
+	out := map[string]float64{}
+	for node, sec := range busy {
+		c := cores[node]
+		if c <= 0 {
+			c = 1
+		}
+		out[node] = sec / (res.Makespan * float64(c))
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"greensched/internal/cluster"
+	"greensched/internal/provision"
+	"greensched/internal/sched"
+	"greensched/internal/sim"
+	"greensched/internal/workload"
+)
+
+func placementResult(t *testing.T) *sim.Result {
+	t.Helper()
+	tasks, err := workload.BurstThenRate{Total: 30, Burst: 4, Rate: 1, Ops: 2e11}.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Platform:    cluster.MustPlatform(cluster.NewNodes("taurus", 2), cluster.NewNodes("sagittaire", 2)),
+		Policy:      sched.New(sched.Power),
+		Tasks:       tasks,
+		Explore:     true,
+		Seed:        1,
+		SampleEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func adaptiveResult(t *testing.T) *sim.AdaptiveResult {
+	t.Helper()
+	store := provision.NewStore()
+	store.Put(provision.Record{Value: 0, Cost: 0.5, Temperature: 22})
+	res, err := sim.RunAdaptive(sim.AdaptiveConfig{
+		Platform: cluster.PaperPlatform(),
+		Planner:  provision.NewPlanner(12, 4),
+		Store:    store,
+		Policy:   sched.New(sched.GreenPerf),
+		TaskOps:  1.8e12,
+		Horizon:  3600,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLogOrderingAndFilter(t *testing.T) {
+	l := &Log{}
+	l.Add(Event{T: 5, Kind: KindFinish, TaskID: 1})
+	l.Add(Event{T: 1, Kind: KindSubmit, TaskID: 1})
+	l.Add(Event{T: 3, Kind: KindStart, TaskID: 1})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	evs := l.Events()
+	if !sort.SliceIsSorted(evs, func(i, j int) bool { return evs[i].T < evs[j].T }) {
+		t.Fatal("Events not time-sorted")
+	}
+	starts := l.Filter(KindStart)
+	if len(starts) != 1 || starts[0].T != 3 {
+		t.Fatalf("Filter = %+v", starts)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	l := &Log{}
+	l.Add(Event{T: 1, Kind: KindSubmit, TaskID: 7, Attrs: map[string]string{"cluster": "taurus"}})
+	l.Add(Event{T: 2, Kind: KindSample, Value: 123.5})
+	var b strings.Builder
+	if err := l.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "\n") != 2 {
+		t.Fatalf("JSONL = %q", b.String())
+	}
+	back, err := ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip lost events: %d", back.Len())
+	}
+	if back.Events()[0].Attrs["cluster"] != "taurus" {
+		t.Fatal("attrs lost")
+	}
+	if _, err := ReadJSONL(strings.NewReader("{bad json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFromResultCompleteness(t *testing.T) {
+	res := placementResult(t)
+	l := FromResult(res)
+	if len(l.Filter(KindSubmit)) != res.Completed {
+		t.Fatal("submit events missing")
+	}
+	if len(l.Filter(KindStart)) != res.Completed {
+		t.Fatal("start events missing")
+	}
+	if len(l.Filter(KindFinish)) != res.Completed {
+		t.Fatal("finish events missing")
+	}
+	if len(l.Filter(KindSample)) != len(res.Series) {
+		t.Fatal("sample events missing")
+	}
+	// Every finish carries power and cluster.
+	for _, e := range l.Filter(KindFinish) {
+		if e.Value <= 0 || e.Attrs["cluster"] == "" {
+			t.Fatalf("finish event incomplete: %+v", e)
+		}
+	}
+}
+
+func TestFromAdaptive(t *testing.T) {
+	res := adaptiveResult(t)
+	l := FromAdaptive(res)
+	if len(l.Filter(KindPool)) != len(res.Samples) {
+		t.Fatal("pool events missing")
+	}
+	if len(l.Filter(KindMeasure)) != len(res.Decisions) {
+		t.Fatal("measure events missing")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	res := placementResult(t)
+	nodes := []string{"taurus-0", "taurus-1", "sagittaire-0", "sagittaire-1"}
+	csv := TasksPerNodeCSV(res, nodes)
+	if !strings.HasPrefix(csv, "node,tasks\n") {
+		t.Fatalf("csv header wrong: %q", csv)
+	}
+	if strings.Count(csv, "\n") != 5 {
+		t.Fatalf("csv rows wrong:\n%s", csv)
+	}
+	ce := ClusterEnergyCSV(res, []string{"taurus", "sagittaire"})
+	if !strings.Contains(ce, "taurus,") || !strings.Contains(ce, "sagittaire,") {
+		t.Fatalf("cluster csv wrong:\n%s", ce)
+	}
+	ad := AdaptiveCSV(adaptiveResult(t))
+	if !strings.HasPrefix(ad, "minute,candidates,avg_w,running\n") {
+		t.Fatalf("adaptive csv wrong: %q", ad)
+	}
+}
+
+func TestGanttOrderedNonOverlappingPerCore(t *testing.T) {
+	res := placementResult(t)
+	rows := Gantt(res)
+	if len(rows) != res.Completed {
+		t.Fatalf("gantt rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Node < rows[i-1].Node {
+			t.Fatal("gantt not node-sorted")
+		}
+		if rows[i].Node == rows[i-1].Node && rows[i].Start < rows[i-1].Start {
+			t.Fatal("gantt not start-sorted within node")
+		}
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	res := placementResult(t)
+	cores := map[string]int{"taurus-0": 12, "taurus-1": 12, "sagittaire-0": 2, "sagittaire-1": 2}
+	u := Utilization(res, cores)
+	if len(u) == 0 {
+		t.Fatal("no utilization computed")
+	}
+	for node, v := range u {
+		if v < 0 || v > 1+1e-9 {
+			t.Fatalf("node %s utilization %v outside [0,1]", node, v)
+		}
+	}
+	// Unknown cores default to 1 (no division by zero).
+	u2 := Utilization(res, nil)
+	for _, v := range u2 {
+		if v < 0 {
+			t.Fatal("negative utilization")
+		}
+	}
+	if Utilization(&sim.Result{}, nil) != nil {
+		t.Fatal("empty result should yield nil")
+	}
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"greensched/internal/core"
+)
+
+// ParseTrace reads a submission trace in a minimal CSV dialect:
+//
+//	# comment lines and blank lines are skipped
+//	submit_seconds,ops[,preference]
+//
+// and returns the time-sorted task list. It is the entry point for
+// replaying recorded production workloads (the stand-in for the batch
+// traces grid sites publish) through the scheduler.
+func ParseTrace(r io.Reader) ([]Task, error) {
+	scanner := bufio.NewScanner(r)
+	var out []Task
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("workload: trace line %d: want 2-3 fields, got %d", lineNo, len(fields))
+		}
+		submit, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad submit time: %w", lineNo, err)
+		}
+		ops, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad ops: %w", lineNo, err)
+		}
+		pref := 0.0
+		if len(fields) == 3 {
+			pref, err = strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace line %d: bad preference: %w", lineNo, err)
+			}
+		}
+		task := Task{Ops: ops, Submit: submit, Pref: core.UserPref(pref)}
+		if err := task.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", lineNo, err)
+		}
+		out = append(out, task)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Submit < out[j].Submit })
+	for i := range out {
+		out[i].ID = i
+	}
+	return out, nil
+}
+
+// WriteTrace renders tasks in the ParseTrace format, preferences
+// included only when non-zero.
+func WriteTrace(w io.Writer, tasks []Task) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# submit_seconds,ops[,preference]")
+	for _, t := range tasks {
+		if t.Pref != 0 {
+			fmt.Fprintf(bw, "%g,%g,%g\n", t.Submit, t.Ops, float64(t.Pref))
+		} else {
+			fmt.Fprintf(bw, "%g,%g\n", t.Submit, t.Ops)
+		}
+	}
+	return bw.Flush()
+}

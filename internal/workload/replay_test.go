@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceBasic(t *testing.T) {
+	in := `# a trace
+10,1e9
+0,2e9,0.5
+
+5,3e9,-1
+`
+	tasks, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 3 {
+		t.Fatalf("len = %d", len(tasks))
+	}
+	// Sorted and renumbered.
+	if tasks[0].Submit != 0 || tasks[1].Submit != 5 || tasks[2].Submit != 10 {
+		t.Fatalf("order wrong: %+v", tasks)
+	}
+	for i, task := range tasks {
+		if task.ID != i {
+			t.Fatal("IDs not dense")
+		}
+	}
+	if tasks[0].Pref != 0.5 || tasks[1].Pref != -1 || tasks[2].Pref != 0 {
+		t.Fatalf("preferences wrong: %+v", tasks)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"",                // empty
+		"1\n",             // one field
+		"a,1e9\n",         // bad time
+		"1,b\n",           // bad ops
+		"1,1e9,x\n",       // bad pref
+		"1,1e9,0,extra\n", // four fields
+		"-1,1e9\n",        // negative submit (Validate)
+		"1,0\n",           // zero ops (Validate)
+	}
+	for i, in := range cases {
+		if _, err := ParseTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: invalid trace accepted: %q", i, in)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig, _ := BurstThenRate{Total: 10, Burst: 3, Rate: 2, Ops: 1e9}.Tasks()
+	orig[2].Pref = 0.9
+	var b strings.Builder
+	if err := WriteTrace(&b, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip lost tasks: %d vs %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i].Submit != orig[i].Submit || back[i].Ops != orig[i].Ops || back[i].Pref != orig[i].Pref {
+			t.Fatalf("task %d mismatch: %+v vs %+v", i, back[i], orig[i])
+		}
+	}
+}

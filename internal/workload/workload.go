@@ -1,0 +1,143 @@
+// Package workload models the paper's client workloads: independent
+// CPU-bound tasks submitted in a burst phase followed by a continuous
+// phase at a fixed rate (§IV-A), plus Poisson arrivals and the
+// closed-loop ("capacity tracking") client of §IV-C.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"greensched/internal/core"
+)
+
+// Task is one client request: a single-core CPU-bound problem of Ops
+// flops. The paper's reference task is "1e8 successive additions"; Ops
+// carries the calibrated flop count (see DESIGN.md §3).
+type Task struct {
+	ID     int
+	Ops    float64
+	Submit float64       // arrival time, seconds
+	Pref   core.UserPref // Preference_user attached to the request
+}
+
+// Validate reports a descriptive error for malformed tasks.
+func (t Task) Validate() error {
+	if t.Ops <= 0 {
+		return fmt.Errorf("workload: task %d has non-positive ops", t.ID)
+	}
+	if t.Submit < 0 {
+		return fmt.Errorf("workload: task %d submitted at negative time", t.ID)
+	}
+	return nil
+}
+
+// BurstThenRate is the §IV-A temporal distribution: "a burst phase,
+// when the client submits r simultaneous requests and a continuous
+// phase when the client submits requests at an arbitrary rate".
+type BurstThenRate struct {
+	Total int     // total number of requests
+	Burst int     // r: simultaneous requests at t=0
+	Rate  float64 // continuous-phase arrivals per second
+	Ops   float64 // flops per task
+	Pref  core.UserPref
+}
+
+// Validate reports configuration errors.
+func (g BurstThenRate) Validate() error {
+	switch {
+	case g.Total <= 0:
+		return fmt.Errorf("workload: total %d must be positive", g.Total)
+	case g.Burst < 0 || g.Burst > g.Total:
+		return fmt.Errorf("workload: burst %d outside [0,%d]", g.Burst, g.Total)
+	case g.Rate <= 0 && g.Burst < g.Total:
+		return fmt.Errorf("workload: continuous phase needs a positive rate")
+	case g.Ops <= 0:
+		return fmt.Errorf("workload: ops must be positive")
+	default:
+		return nil
+	}
+}
+
+// Tasks materializes the arrival schedule. Burst tasks arrive at t=0;
+// the remaining Total−Burst tasks arrive every 1/Rate seconds starting
+// at 1/Rate.
+func (g BurstThenRate) Tasks() ([]Task, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Task, 0, g.Total)
+	for i := 0; i < g.Burst; i++ {
+		out = append(out, Task{ID: i, Ops: g.Ops, Submit: 0, Pref: g.Pref})
+	}
+	period := 0.0
+	if g.Rate > 0 {
+		period = 1 / g.Rate
+	}
+	for i := g.Burst; i < g.Total; i++ {
+		at := float64(i-g.Burst+1) * period
+		out = append(out, Task{ID: i, Ops: g.Ops, Submit: at, Pref: g.Pref})
+	}
+	return out, nil
+}
+
+// Poisson generates Total tasks with exponential inter-arrival times
+// of mean 1/Rate — the memoryless open-loop load used by robustness
+// tests and ablations.
+type Poisson struct {
+	Total int
+	Rate  float64
+	Ops   float64
+	Pref  core.UserPref
+	Seed  int64
+}
+
+// Tasks materializes the schedule.
+func (g Poisson) Tasks() ([]Task, error) {
+	if g.Total <= 0 || g.Rate <= 0 || g.Ops <= 0 {
+		return nil, fmt.Errorf("workload: poisson needs positive total, rate and ops")
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	out := make([]Task, g.Total)
+	at := 0.0
+	for i := range out {
+		at += rng.ExpFloat64() / g.Rate
+		out[i] = Task{ID: i, Ops: g.Ops, Submit: at, Pref: g.Pref}
+	}
+	return out, nil
+}
+
+// Merge interleaves several task schedules (e.g. the two clients of
+// §IV-B) into one stream sorted by submit time, re-numbering IDs so
+// they stay unique. Ties keep schedule order (client 1 before
+// client 2), which keeps multi-client runs deterministic.
+func Merge(schedules ...[]Task) []Task {
+	var out []Task
+	for _, s := range schedules {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Submit < out[j].Submit })
+	for i := range out {
+		out[i].ID = i
+	}
+	return out
+}
+
+// PerCore returns the paper's request-count rule: "a number of 10
+// client requests per available core" (reqsPerCore=10).
+func PerCore(totalCores, reqsPerCore int) int { return totalCores * reqsPerCore }
+
+// Shift returns a copy of tasks with every submit time moved by
+// `by` seconds (IDs unchanged). Composing Shift with Merge builds
+// multi-phase schedules — e.g. the burst / idle-gap / burst pattern of
+// under-utilized platforms (§II-B: "Cloud computing infrastructures
+// are seldom fully utilized").
+func Shift(tasks []Task, by float64) []Task {
+	out := make([]Task, len(tasks))
+	for i, t := range tasks {
+		t.Submit += by
+		out[i] = t
+	}
+	return out
+}

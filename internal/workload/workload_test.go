@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTaskValidate(t *testing.T) {
+	if err := (Task{ID: 1, Ops: 1e9, Submit: 0}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Task{ID: 1, Ops: 0}).Validate(); err == nil {
+		t.Fatal("zero ops accepted")
+	}
+	if err := (Task{ID: 1, Ops: 1, Submit: -1}).Validate(); err == nil {
+		t.Fatal("negative submit accepted")
+	}
+}
+
+func TestBurstThenRateSchedule(t *testing.T) {
+	g := BurstThenRate{Total: 10, Burst: 4, Rate: 2, Ops: 1e9}
+	tasks, err := g.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 10 {
+		t.Fatalf("len = %d, want 10", len(tasks))
+	}
+	for i := 0; i < 4; i++ {
+		if tasks[i].Submit != 0 {
+			t.Fatalf("burst task %d at %v, want 0", i, tasks[i].Submit)
+		}
+	}
+	// Continuous: 0.5 s apart starting at 0.5.
+	for i := 4; i < 10; i++ {
+		want := float64(i-3) * 0.5
+		if math.Abs(tasks[i].Submit-want) > 1e-12 {
+			t.Fatalf("task %d at %v, want %v", i, tasks[i].Submit, want)
+		}
+	}
+	// IDs dense and unique.
+	for i, task := range tasks {
+		if task.ID != i {
+			t.Fatalf("task %d has ID %d", i, task.ID)
+		}
+		if task.Ops != 1e9 {
+			t.Fatalf("task %d ops = %v", i, task.Ops)
+		}
+	}
+}
+
+func TestBurstOnlySchedule(t *testing.T) {
+	g := BurstThenRate{Total: 5, Burst: 5, Ops: 1e9}
+	tasks, err := g.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		if task.Submit != 0 {
+			t.Fatal("burst-only schedule must all arrive at 0")
+		}
+	}
+}
+
+func TestBurstThenRateValidation(t *testing.T) {
+	bad := []BurstThenRate{
+		{Total: 0, Ops: 1},
+		{Total: 5, Burst: 6, Ops: 1, Rate: 1},
+		{Total: 5, Burst: -1, Ops: 1, Rate: 1},
+		{Total: 5, Burst: 2, Rate: 0, Ops: 1}, // continuous phase without rate
+		{Total: 5, Burst: 2, Rate: 1, Ops: 0},
+	}
+	for i, g := range bad {
+		if _, err := g.Tasks(); err == nil {
+			t.Errorf("case %d: invalid generator accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestPoissonSchedule(t *testing.T) {
+	g := Poisson{Total: 1000, Rate: 2, Ops: 1e9, Seed: 7}
+	tasks, err := g.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1000 {
+		t.Fatalf("len = %d", len(tasks))
+	}
+	if !sort.SliceIsSorted(tasks, func(i, j int) bool { return tasks[i].Submit < tasks[j].Submit }) {
+		t.Fatal("poisson arrivals must be sorted")
+	}
+	// Mean inter-arrival ~ 1/2 s: the 1000th arrival lands near 500 s.
+	last := tasks[len(tasks)-1].Submit
+	if last < 400 || last > 600 {
+		t.Fatalf("poisson horizon = %v, want ≈500", last)
+	}
+	// Determinism.
+	again, _ := Poisson{Total: 1000, Rate: 2, Ops: 1e9, Seed: 7}.Tasks()
+	for i := range tasks {
+		if tasks[i] != again[i] {
+			t.Fatal("same seed must reproduce the same schedule")
+		}
+	}
+	if _, err := (Poisson{Total: 0, Rate: 1, Ops: 1}).Tasks(); err == nil {
+		t.Fatal("invalid poisson accepted")
+	}
+}
+
+func TestMergeTwoClients(t *testing.T) {
+	c1, _ := BurstThenRate{Total: 3, Burst: 1, Rate: 1, Ops: 1e9}.Tasks()
+	c2, _ := BurstThenRate{Total: 3, Burst: 1, Rate: 1, Ops: 2e9}.Tasks()
+	merged := Merge(c1, c2)
+	if len(merged) != 6 {
+		t.Fatalf("len = %d", len(merged))
+	}
+	if !sort.SliceIsSorted(merged, func(i, j int) bool { return merged[i].Submit < merged[j].Submit }) {
+		t.Fatal("merged stream must be time-sorted")
+	}
+	// Tie at t=0: client 1's task first (stable).
+	if merged[0].Ops != 1e9 || merged[1].Ops != 2e9 {
+		t.Fatal("stable merge order violated")
+	}
+	for i, task := range merged {
+		if task.ID != i {
+			t.Fatal("merge must re-number IDs densely")
+		}
+	}
+}
+
+func TestPerCore(t *testing.T) {
+	// Paper: 104 cores × 10 requests/core.
+	if got := PerCore(104, 10); got != 1040 {
+		t.Fatalf("PerCore = %d, want 1040", got)
+	}
+}
+
+// Property: schedules are always time-sorted with dense IDs, and the
+// continuous phase spans (total-burst)/rate seconds.
+func TestPropertyBurstThenRate(t *testing.T) {
+	f := func(totalRaw, burstRaw uint8, rateRaw uint16) bool {
+		total := int(totalRaw)%200 + 1
+		burst := int(burstRaw) % (total + 1)
+		rate := float64(rateRaw)/1000 + 0.1
+		g := BurstThenRate{Total: total, Burst: burst, Rate: rate, Ops: 1e9}
+		tasks, err := g.Tasks()
+		if err != nil {
+			return false
+		}
+		if len(tasks) != total {
+			return false
+		}
+		if !sort.SliceIsSorted(tasks, func(i, j int) bool { return tasks[i].Submit < tasks[j].Submit }) {
+			return false
+		}
+		want := float64(total-burst) / rate
+		last := tasks[len(tasks)-1].Submit
+		return math.Abs(last-want) < 1e-6 || (burst == total && last == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftMovesSubmitTimes(t *testing.T) {
+	tasks, err := BurstThenRate{Total: 4, Burst: 2, Rate: 1, Ops: 1e9}.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := Shift(tasks, 100)
+	for i := range tasks {
+		if shifted[i].Submit != tasks[i].Submit+100 {
+			t.Errorf("task %d: submit %v, want %v", i, shifted[i].Submit, tasks[i].Submit+100)
+		}
+		if shifted[i].ID != tasks[i].ID || shifted[i].Ops != tasks[i].Ops {
+			t.Errorf("task %d: Shift must only change Submit", i)
+		}
+	}
+	// The input must not be mutated.
+	if tasks[0].Submit != 0 {
+		t.Errorf("Shift mutated its input: %v", tasks[0])
+	}
+}
+
+func TestShiftQuickProperties(t *testing.T) {
+	f := func(rawOps []uint32, by uint16) bool {
+		if len(rawOps) == 0 {
+			return true
+		}
+		tasks := make([]Task, len(rawOps))
+		for i, o := range rawOps {
+			tasks[i] = Task{ID: i, Ops: float64(o%1000) + 1, Submit: float64(i)}
+		}
+		shifted := Shift(tasks, float64(by))
+		if len(shifted) != len(tasks) {
+			return false
+		}
+		for i := range tasks {
+			// Relative spacing is preserved exactly.
+			if shifted[i].Submit-tasks[i].Submit != float64(by) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftComposesWithMerge(t *testing.T) {
+	a, err := BurstThenRate{Total: 3, Burst: 3, Ops: 1e9}.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BurstThenRate{Total: 3, Burst: 3, Ops: 2e9}.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := Merge(a, Shift(b, 50))
+	if len(merged) != 6 {
+		t.Fatalf("merged %d tasks, want 6", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Submit < merged[i-1].Submit {
+			t.Fatal("merge must sort by submit time")
+		}
+		if merged[i].ID != i {
+			t.Fatal("merge must renumber IDs")
+		}
+	}
+	if merged[3].Submit != 50 {
+		t.Errorf("second phase starts at %v, want 50", merged[3].Submit)
+	}
+}
