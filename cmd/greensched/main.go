@@ -4,6 +4,7 @@
 //	greensched greenperf [-seed N]             Figures 6-7, Table III  (§IV-B)
 //	greensched adaptive  [-seed N]             Figures 8-9             (§IV-C)
 //	greensched replicate [-seeds N]            Table II across seeds, mean ± CI
+//	greensched carbon    [-days N]             carbon-blind vs carbon-aware study
 //	greensched all       [-seed N]             everything above
 //
 // Output is written to stdout as ASCII tables/figures.
@@ -12,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -24,69 +26,104 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errUsage {
+			usage()
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "greensched: %v\n", err)
+		os.Exit(1)
 	}
-	cmd := os.Args[1]
+}
+
+// errUsage asks main for the usage text and exit code 2.
+var errUsage = fmt.Errorf("usage")
+
+// run dispatches one CLI invocation, writing all output to out. Tests
+// call it directly with a buffer.
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return errUsage
+	}
+	cmd := args[0]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "deterministic simulation seed")
 	static := fs.Bool("static", false, "use the static (initial benchmark) estimation approach instead of dynamic learning")
 	csvDir := fs.String("csv", "", "also export figure data as CSV files into this directory")
 	traceFile := fs.String("trace", "", "replay: submission trace file (submit_seconds,ops[,preference] lines)")
 	seeds := fs.Int("seeds", 10, "replicate: number of independent seeds")
-	policyName := fs.String("policy", "GREENPERF", "replay: scheduling policy (RANDOM|POWER|PERFORMANCE|GREENPERF)")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
+	policyName := fs.String("policy", "GREENPERF", "replay: scheduling policy (RANDOM|POWER|PERFORMANCE|GREENPERF|CARBON)")
+	days := fs.Int("days", 2, "carbon: scenario length in days")
+	burst := fs.Int("burst", 0, "carbon: deferrable tasks per evening burst (0 = default)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return errUsage
 	}
 
-	var err error
 	switch cmd {
 	case "placement":
-		err = runPlacement(*seed, *static, *csvDir)
+		return runPlacement(out, *seed, *static, *csvDir)
 	case "greenperf":
-		err = runGreenPerf(*seed)
+		return runGreenPerf(out, *seed)
 	case "adaptive":
-		err = runAdaptive(*seed, *csvDir)
+		return runAdaptive(out, *seed, *csvDir)
 	case "extensions":
-		err = experiments.RenderExtensions(os.Stdout, *seed)
+		return experiments.RenderExtensions(out, *seed)
 	case "replicate":
-		err = runReplicate(*seed, *seeds, *static)
+		return runReplicate(out, *seed, *seeds, *static)
 	case "consolidation":
 		cfg := experiments.DefaultConsolidationConfig()
 		cfg.Seed = *seed
-		var res *experiments.ConsolidationResult
-		if res, err = experiments.RunConsolidation(cfg); err == nil {
-			err = res.Render(os.Stdout)
+		res, err := experiments.RunConsolidation(cfg)
+		if err != nil {
+			return err
 		}
+		return res.Render(out)
+	case "carbon":
+		return runCarbon(out, *seed, *days, *burst)
 	case "replay":
-		err = runReplay(*traceFile, *policyName, *seed)
+		return runReplay(out, *traceFile, *policyName, *seed)
 	case "all":
-		if err = runPlacement(*seed, *static, *csvDir); err == nil {
-			fmt.Println()
-			if err = runGreenPerf(*seed); err == nil {
-				fmt.Println()
-				if err = runAdaptive(*seed, *csvDir); err == nil {
-					fmt.Println()
-					err = experiments.RenderExtensions(os.Stdout, *seed)
-				}
-			}
+		if err := runPlacement(out, *seed, *static, *csvDir); err != nil {
+			return err
 		}
+		fmt.Fprintln(out)
+		if err := runGreenPerf(out, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if err := runAdaptive(out, *seed, *csvDir); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if err := experiments.RenderExtensions(out, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		return runCarbon(out, *seed, *days, *burst)
 	case "-h", "--help", "help":
 		usage()
-		return
+		return nil
 	default:
 		fmt.Fprintf(os.Stderr, "greensched: unknown command %q\n", cmd)
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "greensched: %v\n", err)
-		os.Exit(1)
+		return errUsage
 	}
 }
 
-func runPlacement(seed int64, static bool, csvDir string) error {
+func runCarbon(out io.Writer, seed int64, days, burst int) error {
+	cfg := experiments.DefaultCarbonConfig()
+	cfg.Seed = seed
+	cfg.Days = days
+	if burst > 0 {
+		cfg.BurstTasks = burst
+	}
+	res, err := experiments.RunCarbonStudy(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(out)
+}
+
+func runPlacement(out io.Writer, seed int64, static bool, csvDir string) error {
 	cfg := experiments.DefaultPlacementConfig()
 	cfg.Seed = seed
 	cfg.Static = static
@@ -94,7 +131,7 @@ func runPlacement(seed int64, static bool, csvDir string) error {
 	if err != nil {
 		return err
 	}
-	if err := res.Render(os.Stdout); err != nil {
+	if err := res.Render(out); err != nil {
 		return err
 	}
 	if csvDir == "" {
@@ -119,11 +156,11 @@ func runPlacement(seed int64, static bool, csvDir string) error {
 			return err
 		}
 	}
-	fmt.Printf("\nCSV exports written to %s\n", csvDir)
+	fmt.Fprintf(out, "\nCSV exports written to %s\n", csvDir)
 	return nil
 }
 
-func runReplay(traceFile, policyName string, seed int64) error {
+func runReplay(out io.Writer, traceFile, policyName string, seed int64) error {
 	if traceFile == "" {
 		return fmt.Errorf("replay needs -trace FILE")
 	}
@@ -138,7 +175,7 @@ func runReplay(traceFile, policyName string, seed int64) error {
 	}
 	kind := sched.Kind(policyName)
 	switch kind {
-	case sched.Random, sched.Power, sched.Performance, sched.GreenPerf, sched.LeastLoaded:
+	case sched.Random, sched.Power, sched.Performance, sched.GreenPerf, sched.LeastLoaded, sched.Carbon:
 	default:
 		return fmt.Errorf("unknown policy %q", policyName)
 	}
@@ -154,16 +191,16 @@ func runReplay(traceFile, policyName string, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("replayed %d tasks under %s on the Table I platform\n", res.Completed, res.Policy)
-	fmt.Printf("makespan: %.0f s   energy: %.0f J   mean wait: %.1f s\n",
+	fmt.Fprintf(out, "replayed %d tasks under %s on the Table I platform\n", res.Completed, res.Policy)
+	fmt.Fprintf(out, "makespan: %.0f s   energy: %.0f J   mean wait: %.1f s\n",
 		res.Makespan, res.EnergyJ, res.MeanWait())
 	for _, cl := range platform.Clusters() {
-		fmt.Printf("  %-12s %4d tasks  %12.0f J\n", cl, res.PerClusterTasks[cl], res.PerClusterEnergy[cl])
+		fmt.Fprintf(out, "  %-12s %4d tasks  %12.0f J\n", cl, res.PerClusterTasks[cl], res.PerClusterEnergy[cl])
 	}
 	return nil
 }
 
-func runReplicate(firstSeed int64, seeds int, static bool) error {
+func runReplicate(out io.Writer, firstSeed int64, seeds int, static bool) error {
 	cfg := experiments.DefaultReplicationConfig()
 	cfg.FirstSeed = firstSeed
 	cfg.Seeds = seeds
@@ -172,19 +209,19 @@ func runReplicate(firstSeed int64, seeds int, static bool) error {
 	if err != nil {
 		return err
 	}
-	return res.Render(os.Stdout)
+	return res.Render(out)
 }
 
-func runGreenPerf(seed int64) error {
+func runGreenPerf(out io.Writer, seed int64) error {
 	cfg := experiments.DefaultMetricConfig()
 	cfg.Seed = seed
-	return experiments.RenderMetricStudy(cfg, os.Stdout)
+	return experiments.RenderMetricStudy(cfg, out)
 }
 
-func runAdaptive(seed int64, csvDir string) error {
+func runAdaptive(out io.Writer, seed int64, csvDir string) error {
 	cfg := experiments.DefaultAdaptiveConfig()
 	cfg.Seed = seed
-	if err := experiments.RenderAdaptive(cfg, os.Stdout); err != nil {
+	if err := experiments.RenderAdaptive(cfg, out); err != nil {
 		return err
 	}
 	if csvDir == "" {
@@ -201,7 +238,7 @@ func runAdaptive(seed int64, csvDir string) error {
 	if err := os.WriteFile(path, []byte(trace.AdaptiveCSV(res)), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("\nCSV export written to %s\n", path)
+	fmt.Fprintf(out, "\nCSV export written to %s\n", path)
 	return nil
 }
 
@@ -215,12 +252,15 @@ commands:
   extensions  preference sweep + tariff-following provisioning
   replicate   Table II across seeds: mean ± CI, Welch tests (-seeds N)
   consolidation  related-work baseline: idle shutdown vs always-on
+  carbon      carbon-blind vs carbon-aware scheduling (-days N [-burst N])
   replay      schedule an external trace (-trace FILE [-policy P])
   all         run every experiment
 
 flags:
   -seed N     deterministic simulation seed (default 1)
   -seeds N    replicate only: number of independent seeds (default 10)
+  -days N     carbon only: scenario length in days (default 2)
+  -burst N    carbon only: deferrable tasks per evening burst
   -static     placement / replicate: static estimation ablation
   -csv DIR    also export figure data as CSV files
 `)

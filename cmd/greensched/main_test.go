@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCarbonCommandSmoke runs the carbon study end-to-end through the
+// CLI dispatch on a tiny scenario and checks it produces the report.
+func TestCarbonCommandSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"carbon", "-days", "1", "-burst", "24", "-seed", "7"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"CARBON+WINDOWS", "GREENPERF+IDLE", "CO2 saving", "per-site CO2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReplaySmoke drives the replay command with a generated trace
+// file, including the CARBON policy gate.
+func TestReplaySmoke(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	traceData := "# submit_seconds,ops\n0,4.5e11\n1,4.5e11\n2,4.5e11,0.5\n"
+	if err := os.WriteFile(path, []byte(traceData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"replay", "-trace", path, "-policy", "CARBON"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "replayed 3 tasks under CARBON") {
+		t.Errorf("unexpected replay output:\n%s", b.String())
+	}
+}
+
+func TestUnknownCommandAndMissingArgs(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{}, &b); err != errUsage {
+		t.Errorf("no args: %v, want errUsage", err)
+	}
+	if err := run([]string{"frobnicate"}, &b); err != errUsage {
+		t.Errorf("unknown command: %v, want errUsage", err)
+	}
+	if err := run([]string{"replay"}, &b); err == nil {
+		t.Error("replay without -trace must fail")
+	}
+}

@@ -10,20 +10,24 @@
 // Layout:
 //
 //	internal/core           the paper's contribution (GreenPerf, Eq. 1-6, Algorithm 1)
+//	                        plus the carbon-aware ranking extensions
 //	internal/middleware     live DIET-style hierarchy (in-process and TCP)
 //	internal/sim            deterministic discrete-event simulator with a
-//	                        generic power-management control hook
-//	internal/consolidation  related-work baseline: concentration + idle shutdown
+//	                        generic power-management control hook and
+//	                        per-node CO2 accounting
+//	internal/carbon         grid carbon-intensity signals, site profiles
+//	                        and the joules→grams integrator
+//	internal/consolidation  related-work baseline (concentration + idle
+//	                        shutdown) and the carbon-window controller
 //	internal/analysis       Student-t / Welch statistics for multi-seed replication
 //	internal/experiments    one harness per table/figure + extension studies
 //	cmd/greensched          CLI to regenerate the evaluation
 //	cmd/greenplan           provisioning-plan (Figure 8 XML) utility
 //	examples/               runnable walkthroughs
 //
-// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
-// results. The root package intentionally exposes only metadata; the
-// implementation lives in the internal packages exercised by the
-// benchmarks in bench_test.go.
+// See README.md for the full package tour. The root package
+// intentionally exposes only metadata; the implementation lives in the
+// internal packages exercised by the benchmarks in bench_test.go.
 package greensched
 
 // Version is the library version.

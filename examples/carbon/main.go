@@ -1,0 +1,75 @@
+// Carbon walkthrough: the grid behind the socket as a scheduling
+// signal. It builds diurnal and tariff-derived carbon signals, shows
+// how the same joule costs different grams across sites and hours,
+// ranks servers with the carbon-aware criteria, and runs the
+// carbon-blind vs carbon-aware comparison on a one-day scenario.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"greensched/internal/carbon"
+	"greensched/internal/core"
+	"greensched/internal/experiments"
+	"greensched/internal/forecast"
+)
+
+func main() {
+	// A solar-dominated grid: cleanest at 13:00, dirtiest overnight.
+	solar := carbon.Diurnal{
+		MeanG: 300, AmplitudeG: 250, CleanHour: 13,
+		RenewableMin: 0.05, RenewableMax: 0.8,
+	}
+	fmt.Println("Diurnal grid (gCO2/kWh by hour):")
+	for h := 0; h < 24; h += 3 {
+		t := float64(h) * 3600
+		fmt.Printf("  %02d:00  %3.0f g/kWh  (renewables %2.0f%%)\n",
+			h, solar.IntensityAt(t), solar.RenewableAt(t)*100)
+	}
+
+	// The §IV-C electricity tariff doubles as a coarse carbon signal.
+	sched, err := carbon.FromTariff(forecast.PaperTariff(), 100, 500)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nTariff-derived step schedule:")
+	for _, h := range []float64{4, 12, 23} {
+		fmt.Printf("  %02.0f:00  %3.0f g/kWh\n", h, sched.IntensityAt(h*3600))
+	}
+
+	// One kWh is not one footprint: integrate 1000 W for an hour at
+	// midday vs midnight.
+	site := carbon.SiteProfile{Site: "solar-valley", Signal: solar}
+	midday := carbon.Grams(site, carbon.JoulesPerKWh, 12.5*3600, 13.5*3600)
+	midnight := carbon.Grams(site, carbon.JoulesPerKWh, 23.5*3600, 24.5*3600)
+	fmt.Printf("\n1 kWh drawn at midday: %.0f g CO2; the same kWh at midnight: %.0f g\n",
+		midday, midnight)
+
+	// Carbon-aware ranking: a hungrier server on a cleaner grid can
+	// beat the GreenPerf favourite.
+	servers := []core.Server{
+		{Name: "lean-dirty", Flops: 5e9, PowerW: 200, CarbonIntensity: 500, Active: true},
+		{Name: "hungry-clean", Flops: 5e9, PowerW: 300, CarbonIntensity: 50, Active: true},
+	}
+	fmt.Println("\nGreenPerf vs CarbonPerf ordering:")
+	fmt.Printf("  by GreenPerf:  %s first\n", core.Rank(servers, core.ByGreenPerf())[0].Name)
+	fmt.Printf("  by CarbonPerf: %s first\n", core.Rank(servers, core.ByCarbonPerf())[0].Name)
+	fmt.Printf("  blended (perf=1, watts=1, carbon=1): %s first\n",
+		core.Rank(servers, core.ByGreenWeights(core.DefaultGreenWeights))[0].Name)
+
+	// The full study on a small one-day scenario: an evening batch
+	// either runs immediately (carbon-blind) or waits for the next
+	// clean window (carbon-aware candidacy windows).
+	cfg := experiments.DefaultCarbonConfig()
+	cfg.Days = 1
+	cfg.BurstTasks = 24
+	res, err := experiments.RunCarbonStudy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println()
+	if err := res.Render(os.Stdout); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module greensched
+
+go 1.22

@@ -1,0 +1,323 @@
+package carbon
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"greensched/internal/forecast"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestConstantSignal(t *testing.T) {
+	c := Constant{G: 300, R: 0.2}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.IntensityAt(0) != 300 || c.IntensityAt(1e6) != 300 {
+		t.Error("constant intensity must not vary")
+	}
+	if c.MeanIntensity(0, 86400) != 300 {
+		t.Error("constant mean must equal the level")
+	}
+	if c.RenewableAt(42) != 0.2 {
+		t.Error("constant renewable fraction wrong")
+	}
+	if (Constant{G: -1}).Validate() == nil {
+		t.Error("negative intensity must be rejected")
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := Diurnal{MeanG: 300, AmplitudeG: 200, CleanHour: 13, RenewableMin: 0.1, RenewableMax: 0.7}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cleanest at 13:00, dirtiest 12 hours away.
+	almost(t, d.IntensityAt(13*3600), 100, 1e-9, "intensity at clean hour")
+	almost(t, d.IntensityAt(1*3600), 500, 1e-9, "intensity at dirty hour")
+	// Renewables peak when the grid is cleanest.
+	almost(t, d.RenewableAt(13*3600), 0.7, 1e-9, "renewable at clean hour")
+	almost(t, d.RenewableAt(1*3600), 0.1, 1e-9, "renewable at dirty hour")
+	// Same hour next day: identical.
+	almost(t, d.IntensityAt(13*3600+DaySeconds), 100, 1e-9, "period")
+}
+
+func TestDiurnalMeanIntensityAnalytic(t *testing.T) {
+	d := Diurnal{MeanG: 320, AmplitudeG: 180, CleanHour: 14}
+	// Full-day mean must be the configured mean.
+	almost(t, d.MeanIntensity(0, DaySeconds), 320, 1e-9, "full-day mean")
+	// Arbitrary window: compare against fine numeric integration.
+	t0, t1 := 5*3600.0, 19*3600.0
+	sum := 0.0
+	const n = 200000
+	dt := (t1 - t0) / n
+	for i := 0; i < n; i++ {
+		sum += d.IntensityAt(t0+(float64(i)+0.5)*dt) * dt
+	}
+	almost(t, d.MeanIntensity(t0, t1), sum/(t1-t0), 1e-4, "window mean")
+	// Degenerate interval falls back to the point value.
+	almost(t, d.MeanIntensity(t0, t0), d.IntensityAt(t0), 1e-9, "empty interval")
+}
+
+func TestDiurnalValidate(t *testing.T) {
+	cases := []Diurnal{
+		{MeanG: 0, AmplitudeG: 0},
+		{MeanG: 100, AmplitudeG: 150},
+		{MeanG: 100, AmplitudeG: 50, CleanHour: 24},
+		{MeanG: 100, AmplitudeG: 50, RenewableMin: 0.8, RenewableMax: 0.2},
+	}
+	for i, d := range cases {
+		if d.Validate() == nil {
+			t.Errorf("case %d: %+v must be rejected", i, d)
+		}
+	}
+}
+
+func TestTraceLookupAndMean(t *testing.T) {
+	tr, err := NewTrace("test", []Point{
+		{T: 0, G: 100, R: 0.5},
+		{T: 100, G: 300},
+		{T: 200, G: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := tr.IntensityAt(-50); g != 100 {
+		t.Errorf("before first point: %v, want first value 100", g)
+	}
+	if g := tr.IntensityAt(150); g != 300 {
+		t.Errorf("mid-trace: %v, want 300", g)
+	}
+	if g := tr.IntensityAt(1e6); g != 200 {
+		t.Errorf("after last point: %v, want 200", g)
+	}
+	if r := tr.RenewableAt(50); r != 0.5 {
+		t.Errorf("renewable: %v, want 0.5", r)
+	}
+	// [50, 250): 50s@100 + 100s@300 + 50s@200 = 5000+30000+10000 over 200s.
+	almost(t, tr.MeanIntensity(50, 250), 225, 1e-9, "step-weighted mean")
+}
+
+func TestScheduleFromTariff(t *testing.T) {
+	s, err := FromTariff(forecast.PaperTariff(), 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regular 08-22h cost 1.0 → 500; off-peak-2 02-08h cost 0.5 → 300.
+	almost(t, s.IntensityAt(12*3600), 500, 1e-9, "regular hours")
+	almost(t, s.IntensityAt(4*3600), 300, 1e-9, "off-peak-2 hours")
+	// Off-peak-1 wraps midnight: 23h and 1h both cost 0.8 → 420.
+	almost(t, s.IntensityAt(23*3600), 420, 1e-9, "off-peak-1 before midnight")
+	almost(t, s.IntensityAt(25*3600), 420, 1e-9, "off-peak-1 after midnight (next day)")
+	// Renewable fraction mirrors 1−cost.
+	almost(t, s.RenewableAt(4*3600), 0.5, 1e-9, "renewable off-peak-2")
+}
+
+func TestScheduleMeanIntensity(t *testing.T) {
+	s, err := NewSchedule("steps", []Window{
+		{StartHour: 0, EndHour: 12, G: 100},
+		{StartHour: 12, EndHour: 24, G: 300},
+	}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, s.MeanIntensity(0, DaySeconds), 200, 1e-9, "full-day mean")
+	// 06:00→18:00: 6h@100 + 6h@300.
+	almost(t, s.MeanIntensity(6*3600, 18*3600), 200, 1e-9, "half-shifted mean")
+	// Window spanning two days: 18:00 day0 → 06:00 day1 = 6h@300 + 6h@100.
+	almost(t, s.MeanIntensity(18*3600, DaySeconds+6*3600), 200, 1e-9, "cross-midnight mean")
+	// Pure morning window.
+	almost(t, s.MeanIntensity(2*3600, 8*3600), 100, 1e-9, "morning mean")
+}
+
+func TestProfileRoutesClustersToSites(t *testing.T) {
+	p := MustProfile(SiteProfile{Site: "dirty", Signal: Constant{G: 500}})
+	if err := p.SetCluster("taurus", SiteProfile{Site: "clean", Signal: Constant{G: 50}, PUE: 1.2}); err != nil {
+		t.Fatal(err)
+	}
+	if g := p.IntensityAt("taurus", 0); g != 50 {
+		t.Errorf("mapped cluster intensity %v, want 50", g)
+	}
+	if g := p.IntensityAt("orion", 0); g != 500 {
+		t.Errorf("default cluster intensity %v, want 500", g)
+	}
+	sites := p.Sites()
+	if len(sites) != 2 || sites[0] != "clean" || sites[1] != "dirty" {
+		t.Errorf("sites = %v", sites)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	if _, err := NewProfile(SiteProfile{Site: "x"}); err == nil {
+		t.Error("profile without signal must be rejected")
+	}
+	p := MustProfile(SiteProfile{Site: "d", Signal: Constant{G: 100}})
+	if err := p.SetCluster("c", SiteProfile{Site: "bad", Signal: Constant{}, PUE: 0.5}); err == nil {
+		t.Error("PUE between 0 and 1 must be rejected")
+	}
+}
+
+func TestIntegratorExactGrams(t *testing.T) {
+	// 1000 W for one hour at a constant 300 g/kWh = 1 kWh × 300 g.
+	in, err := NewIntegrator(SiteProfile{Site: "s", Signal: Constant{G: 300}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Advance(3600, 1000)
+	almost(t, in.Grams(), 300, 1e-9, "constant-grid grams")
+
+	// PUE multiplies the facility energy behind the same IT draw.
+	in2, _ := NewIntegrator(SiteProfile{Site: "s", Signal: Constant{G: 300}, PUE: 1.5}, 0)
+	in2.Advance(3600, 1000)
+	almost(t, in2.Grams(), 450, 1e-9, "PUE-scaled grams")
+}
+
+func TestIntegratorPiecewiseAgainstSteps(t *testing.T) {
+	tr, err := NewTrace("g", []Point{{T: 0, G: 100}, {T: 1800, G: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewIntegrator(SiteProfile{Site: "s", Signal: tr}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One hour at 2000 W spanning the step: 1 kWh@100 + 1 kWh@500... no:
+	// 2000 W × 1800 s = 1 kWh per half hour.
+	in.Advance(3600, 2000)
+	almost(t, in.Grams(), 100+500, 1e-9, "step-spanning grams")
+
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards Advance must panic")
+		}
+	}()
+	in.Advance(1000, 1)
+}
+
+func TestGramsOneShot(t *testing.T) {
+	site := SiteProfile{Site: "s", Signal: Constant{G: 250}}
+	almost(t, Grams(site, JoulesPerKWh, 0, 60), 250, 1e-9, "one-shot grams")
+}
+
+func TestParseTraceDialect(t *testing.T) {
+	in := `# seconds,gco2_per_kwh[,renewable_fraction]
+
+0,480,0.05
+ 3600 , 250 , 0.55
+7200,120
+`
+	tr, err := ParseTrace("grid", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Points()); got != 3 {
+		t.Fatalf("parsed %d points, want 3", got)
+	}
+	if g := tr.IntensityAt(3600); g != 250 {
+		t.Errorf("intensity at 3600 = %v, want 250", g)
+	}
+	if r := tr.RenewableAt(3600); r != 0.55 {
+		t.Errorf("renewable at 3600 = %v, want 0.55", r)
+	}
+	if r := tr.RenewableAt(7200); r != 0 {
+		t.Errorf("omitted renewable column must default to 0, got %v", r)
+	}
+}
+
+func TestParseTraceSortsOutOfOrderRows(t *testing.T) {
+	tr, err := ParseTrace("", strings.NewReader("3600,300\n0,100\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := tr.Points()
+	if pts[0].T != 0 || pts[1].T != 3600 {
+		t.Errorf("points not sorted: %+v", pts)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"field count":        "1,2,3,4\n",
+		"bad time":           "abc,100\n",
+		"bad intensity":      "0,xyz\n",
+		"bad renewable":      "0,100,huh\n",
+		"negative intensity": "0,-5\n",
+		"renewable range":    "0,100,1.5\n",
+		"duplicate times":    "0,100\n0,200\n",
+		"empty":              "# only a comment\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseTrace("t", strings.NewReader(in)); err == nil {
+			t.Errorf("%s: %q must fail to parse", name, in)
+		}
+	}
+}
+
+func TestWriteTraceRoundTrip(t *testing.T) {
+	orig, err := NewTrace("rt", []Point{{T: 0, G: 100, R: 0.3}, {T: 60, G: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteTrace(&b, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace("rt", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, b.String())
+	}
+	if got, want := back.Points(), orig.Points(); len(got) != len(want) ||
+		got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, want)
+	}
+}
+
+func TestPlanRecords(t *testing.T) {
+	d := Diurnal{MeanG: 300, AmplitudeG: 200, CleanHour: 13}
+	recs, err := PlanRecords(d, 0, DaySeconds, 3600, 10, 22, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 12 {
+		t.Fatalf("diurnal day yielded only %d records", len(recs))
+	}
+	var minG, maxG = math.Inf(1), math.Inf(-1)
+	for i, r := range recs {
+		if r.Carbon <= 0 {
+			t.Fatalf("record %d has no carbon intensity", i)
+		}
+		minG = math.Min(minG, r.Carbon)
+		maxG = math.Max(maxG, r.Carbon)
+		if i > 0 && recs[i].Value <= recs[i-1].Value {
+			t.Fatalf("records not ascending at %d", i)
+		}
+	}
+	if minG > 150 || maxG < 450 {
+		t.Errorf("records span [%v,%v], want the diurnal swing represented", minG, maxG)
+	}
+	if _, err := PlanRecords(nil, 0, 1, 1, 0, 20, 1); err == nil {
+		t.Error("nil signal must be rejected")
+	}
+	if _, err := PlanRecords(d, 10, 10, 1, 0, 20, 1); err == nil {
+		t.Error("empty horizon must be rejected")
+	}
+}
+
+func TestLiveAdapter(t *testing.T) {
+	f := Live(Constant{G: 123}, time.Now().Add(-time.Hour))
+	g, ok := f()
+	if !ok || g != 123 {
+		t.Errorf("live adapter = (%v,%v), want (123,true)", g, ok)
+	}
+	if _, ok := Live(nil, time.Now())(); ok {
+		t.Error("nil signal must report ok=false")
+	}
+}

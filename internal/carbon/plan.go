@@ -1,0 +1,52 @@
+package carbon
+
+import (
+	"fmt"
+
+	"greensched/internal/provision"
+)
+
+// PlanRecords materializes a carbon signal into provisioning-plan
+// records over [from, to), sampling every step seconds and emitting a
+// record whenever the intensity moves by more than tol gCO2/kWh since
+// the last emitted record (tol ≤ 0 emits every sample). The planner's
+// lookahead then anticipates low-carbon windows exactly as it
+// anticipates the paper's §IV-C price changes. temperature and cost
+// fill the classic status fields so the carbon records compose with
+// the existing heat/cost rules.
+func PlanRecords(sig Signal, from, to, step, tol, temperature, cost float64) ([]provision.Record, error) {
+	if sig == nil {
+		return nil, fmt.Errorf("carbon: nil signal")
+	}
+	if to <= from {
+		return nil, fmt.Errorf("carbon: empty horizon")
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("carbon: non-positive step %v", step)
+	}
+	var out []provision.Record
+	emitted := false
+	last := 0.0
+	for t := from; t < to; t += step {
+		g := sig.IntensityAt(t)
+		if emitted && tol > 0 && abs(g-last) <= tol {
+			continue
+		}
+		out = append(out, provision.Record{
+			Value:       int64(t),
+			Temperature: temperature,
+			Cost:        cost,
+			Carbon:      g,
+		})
+		emitted = true
+		last = g
+	}
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

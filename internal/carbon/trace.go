@@ -1,0 +1,154 @@
+package carbon
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Point is one sample of a recorded grid trace: the intensity (and
+// renewable fraction) in force from T until the next point.
+type Point struct {
+	T float64 // seconds on the simulation timeline
+	G float64 // gCO2/kWh
+	R float64 // renewable fraction in [0,1]
+}
+
+// Trace is a piecewise-constant signal from recorded samples — the
+// stand-in for the grid-operator / electricityMap-style intensity
+// feeds real deployments ingest. Before the first point the first
+// value holds; after the last point the last value holds.
+type Trace struct {
+	name   string
+	points []Point
+}
+
+// NewTrace builds a trace signal. Points must be non-empty with
+// strictly ascending times, non-negative intensities and renewable
+// fractions in [0,1].
+func NewTrace(name string, points []Point) (*Trace, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("carbon: empty trace")
+	}
+	for i, p := range points {
+		if i > 0 && p.T <= points[i-1].T {
+			return nil, fmt.Errorf("carbon: trace point %d: time %v not after %v", i, p.T, points[i-1].T)
+		}
+		if p.G < 0 {
+			return nil, fmt.Errorf("carbon: trace point %d: negative intensity %v", i, p.G)
+		}
+		if p.R < 0 || p.R > 1 {
+			return nil, fmt.Errorf("carbon: trace point %d: renewable fraction %v outside [0,1]", i, p.R)
+		}
+	}
+	if name == "" {
+		name = "trace"
+	}
+	out := make([]Point, len(points))
+	copy(out, points)
+	return &Trace{name: name, points: out}, nil
+}
+
+// Name implements Signal.
+func (tr *Trace) Name() string { return tr.name }
+
+// Points returns a copy of the trace samples.
+func (tr *Trace) Points() []Point {
+	out := make([]Point, len(tr.points))
+	copy(out, tr.points)
+	return out
+}
+
+// at returns the point in force at time t.
+func (tr *Trace) at(t float64) Point {
+	i := sort.Search(len(tr.points), func(i int) bool { return tr.points[i].T > t })
+	if i == 0 {
+		return tr.points[0]
+	}
+	return tr.points[i-1]
+}
+
+// IntensityAt implements Signal.
+func (tr *Trace) IntensityAt(t float64) float64 { return tr.at(t).G }
+
+// RenewableAt implements Signal.
+func (tr *Trace) RenewableAt(t float64) float64 { return tr.at(t).R }
+
+// MeanIntensity implements Signal exactly, weighting each step by the
+// time it is in force inside [t0, t1].
+func (tr *Trace) MeanIntensity(t0, t1 float64) float64 {
+	breaks := make([]float64, len(tr.points))
+	for i, p := range tr.points {
+		breaks[i] = p.T
+	}
+	return meanPiecewise(tr.IntensityAt, breaks, t0, t1)
+}
+
+// ParseTrace reads a carbon-intensity trace in the same minimal CSV
+// dialect as workload.ParseTrace:
+//
+//	# comment lines and blank lines are skipped
+//	seconds,gco2_per_kwh[,renewable_fraction]
+//
+// Out-of-order rows are accepted and sorted; duplicate timestamps are
+// an error (two intensities cannot be in force at once).
+func ParseTrace(name string, r io.Reader) (*Trace, error) {
+	scanner := bufio.NewScanner(r)
+	var points []Point
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("carbon: trace line %d: want 2-3 fields, got %d", lineNo, len(fields))
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("carbon: trace line %d: bad time: %w", lineNo, err)
+		}
+		g, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("carbon: trace line %d: bad intensity: %w", lineNo, err)
+		}
+		p := Point{T: t, G: g}
+		if len(fields) == 3 {
+			p.R, err = strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("carbon: trace line %d: bad renewable fraction: %w", lineNo, err)
+			}
+		}
+		points = append(points, p)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("carbon: reading trace: %w", err)
+	}
+	sort.SliceStable(points, func(i, j int) bool { return points[i].T < points[j].T })
+	for i := 1; i < len(points); i++ {
+		if points[i].T == points[i-1].T {
+			return nil, fmt.Errorf("carbon: duplicate trace timestamp %v", points[i].T)
+		}
+	}
+	return NewTrace(name, points)
+}
+
+// WriteTrace renders the trace in the ParseTrace format, renewable
+// fractions included only when non-zero.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# seconds,gco2_per_kwh[,renewable_fraction]")
+	for _, p := range tr.points {
+		if p.R != 0 {
+			fmt.Fprintf(bw, "%g,%g,%g\n", p.T, p.G, p.R)
+		} else {
+			fmt.Fprintf(bw, "%g,%g\n", p.T, p.G)
+		}
+	}
+	return bw.Flush()
+}

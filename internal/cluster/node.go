@@ -24,6 +24,12 @@ type Node struct {
 
 	bootDoneAt float64 // valid while state == Booting
 	boots      int     // number of boot cycles completed or started
+
+	// OnSettle, when set, observes every settled interval [from, to]
+	// and the constant draw that held over it — the exact
+	// piecewise-constant power signal. Carbon accounting hooks in
+	// here; the callback must not mutate the node.
+	OnSettle func(from, to float64, w power.Watts)
 }
 
 // NewNode returns a powered-on idle node at time t0 with an attached
@@ -88,6 +94,9 @@ func (n *Node) settle(now float64) {
 		n.meter.Observe(from, now, w)
 	}
 	n.acc.Advance(now, w)
+	if n.OnSettle != nil && now > from {
+		n.OnSettle(from, now, w)
+	}
 }
 
 // Settle exposes settlement for metric sampling points (e.g. the

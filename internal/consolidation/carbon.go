@@ -1,0 +1,182 @@
+package consolidation
+
+import (
+	"fmt"
+	"sort"
+
+	"greensched/internal/carbon"
+	"greensched/internal/power"
+	"greensched/internal/sim"
+)
+
+// CarbonController extends the idle-shutdown controller with grid
+// awareness: it shifts deferrable work and shutdown windows into
+// low-carbon periods.
+//
+// Because an elected request never migrates (the SED keeps its
+// problem, §III-A step 5), temporal shifting must happen at election
+// time: the controller opens and closes *candidacy windows*. A node is
+// electable only while its site's grid is clean (intensity ≤ CleanG);
+// outside the window every candidacy is revoked, so new arrivals stay
+// unplaced and simply wait — work already accepted keeps running. The
+// wait is bounded: once unplaced work has aged MaxDeferSec, the
+// controller force-opens every site until the backlog drains, which
+// caps the makespan cost of being green.
+//
+//   - Wake: when a window is open and backlog exists, Off nodes at
+//     open sites boot, cleanest grid first.
+//   - Shutdown: idle nodes on a dirty grid (intensity ≥ DirtyG) are
+//     shut down immediately — every idle second there burns the idle
+//     floor at peak grams — others after IdleTimeout; dirtiest site
+//     first; MinOn nodes stay powered for fast window-open reaction.
+//
+// Pair it with Config.RetryEvery of a minute or so: deferred requests
+// re-try election on that cadence.
+type CarbonController struct {
+	// Profile maps each node's cluster to its site's grid signal.
+	Profile *carbon.Profile
+
+	// CleanG is the intensity (gCO2/kWh) at or below which a site's
+	// candidacy window is open. DirtyG is the level at or above which
+	// idle capacity is shed immediately; between the two, idle nodes
+	// get the normal IdleTimeout grace. CleanG < DirtyG.
+	CleanG float64
+	DirtyG float64
+
+	// IdleTimeout powers an idle node off after this much workless
+	// time while its grid is below DirtyG (seconds).
+	IdleTimeout float64
+	// MinOn is the number of nodes always kept powered on (0 allows a
+	// fully dark platform between windows; booting costs BootSec on
+	// window open).
+	MinOn int
+	// WakeSlack powers on this many extra slots beyond the observed
+	// backlog when waking nodes.
+	WakeSlack int
+	// MaxDeferSec bounds how long unplaced work may wait for a clean
+	// window before every site is force-opened.
+	MaxDeferSec float64
+
+	deferring  bool
+	deferSince float64
+}
+
+// Validate checks the controller parameters.
+func (c *CarbonController) Validate() error {
+	switch {
+	case c.Profile == nil:
+		return fmt.Errorf("consolidation: carbon controller needs a profile")
+	case c.CleanG < 0 || c.DirtyG <= c.CleanG:
+		return fmt.Errorf("consolidation: thresholds clean=%v dirty=%v must satisfy 0 ≤ clean < dirty", c.CleanG, c.DirtyG)
+	case c.IdleTimeout <= 0:
+		return fmt.Errorf("consolidation: IdleTimeout %v must be positive", c.IdleTimeout)
+	case c.MinOn < 0:
+		return fmt.Errorf("consolidation: MinOn %d must be non-negative", c.MinOn)
+	case c.WakeSlack < 0:
+		return fmt.Errorf("consolidation: WakeSlack %d must be non-negative", c.WakeSlack)
+	case c.MaxDeferSec <= 0:
+		return fmt.Errorf("consolidation: MaxDeferSec %v must be positive (it bounds the makespan cost)", c.MaxDeferSec)
+	}
+	return nil
+}
+
+// Tick implements the carbon-aware power-management step; install it
+// as sim.Config.OnControl.
+func (c *CarbonController) Tick(now float64, ctl sim.Control) {
+	nodes := ctl.Nodes()
+	intensity := make([]float64, len(nodes))
+	for i, n := range nodes {
+		intensity[i] = c.Profile.IntensityAt(n.Cluster, now)
+	}
+
+	// Deferral clock: it starts when unplaced work appears and resets
+	// when the backlog drains.
+	if ctl.Unplaced() > 0 {
+		if !c.deferring {
+			c.deferring = true
+			c.deferSince = now
+		}
+	} else {
+		c.deferring = false
+	}
+	forced := c.deferring && now-c.deferSince >= c.MaxDeferSec
+
+	open := func(i int) bool { return forced || intensity[i] <= c.CleanG }
+
+	// Candidacy follows the window.
+	for i, n := range nodes {
+		if n.Candidate != open(i) {
+			_ = ctl.SetCandidate(n.Name, open(i))
+		}
+	}
+
+	// Wake path: cover the net backlog with nodes at open sites,
+	// cleanest grid first.
+	backlog := ctl.Unplaced()
+	free, inbound, powered := 0, 0, 0
+	for i, n := range nodes {
+		if n.State == power.On {
+			powered++
+		}
+		if !open(i) {
+			continue
+		}
+		switch n.State {
+		case power.On:
+			backlog += n.Queued
+			if f := n.Slots - n.Running; f > 0 {
+				free += f
+			}
+		case power.Booting:
+			inbound += n.Slots
+		}
+	}
+	order := make([]int, len(nodes))
+	for i := range order {
+		order[i] = i
+	}
+	if need := backlog - free - inbound; need > 0 {
+		need += c.WakeSlack
+		sort.SliceStable(order, func(a, b int) bool { return intensity[order[a]] < intensity[order[b]] })
+		for _, i := range order {
+			if need <= 0 {
+				break
+			}
+			if !open(i) || nodes[i].State.Usable() {
+				continue
+			}
+			if err := ctl.PowerOn(nodes[i].Name); err == nil {
+				need -= nodes[i].Slots
+			}
+		}
+	}
+
+	// Shutdown path: dirty-grid idle nodes go down immediately,
+	// others after the timeout; dirtiest site first, keeping MinOn
+	// nodes powered.
+	sort.SliceStable(order, func(a, b int) bool { return intensity[order[a]] > intensity[order[b]] })
+	for _, i := range order {
+		if powered <= c.MinOn {
+			break
+		}
+		n := nodes[i]
+		if n.State != power.On || n.Running > 0 || n.Queued > 0 {
+			continue
+		}
+		// Never shed an electable node while backlog is waiting for
+		// it — the wake path counted its free slots.
+		if open(i) && backlog > 0 {
+			continue
+		}
+		grace := c.IdleTimeout
+		if intensity[i] >= c.DirtyG {
+			grace = 0
+		}
+		if n.Idle < grace {
+			continue
+		}
+		if err := ctl.PowerOff(n.Name); err == nil {
+			powered--
+		}
+	}
+}

@@ -132,6 +132,16 @@ func (f *fakeControl) PowerOn(name string) error {
 	return fmt.Errorf("unknown %s", name)
 }
 
+func (f *fakeControl) SetCandidate(name string, candidate bool) error {
+	for i := range f.nodes {
+		if f.nodes[i].Name == name {
+			f.nodes[i].Candidate = candidate
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown %s", name)
+}
+
 func (f *fakeControl) PowerOff(name string) error {
 	for i := range f.nodes {
 		if f.nodes[i].Name == name {

@@ -29,6 +29,12 @@ type Server struct {
 	BootSec    float64 // bts: boot duration, seconds
 	WaitSec    float64 // ws: estimated wait in the task queue, seconds
 
+	// CarbonIntensity is the grid carbon intensity the server's site
+	// sees at decision time, in gCO2/kWh (0 = unknown). It extends the
+	// paper's notation with the where/when of the watts; the
+	// carbon-aware criteria in carbon.go consume it.
+	CarbonIntensity float64
+
 	Active bool // powered on (false = must boot first)
 }
 

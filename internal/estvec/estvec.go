@@ -52,6 +52,13 @@ const (
 	// TagRandom is a per-response uniform draw in [0,1) used by the
 	// RANDOM policy so that sorting stays a pure function of vectors.
 	TagRandom Tag = "random"
+	// TagCarbonIntensity is the grid carbon intensity the SED's site
+	// sees right now, in gCO2/kWh. Carbon-aware policies combine it
+	// with the power and flops tags into a grams-per-flop ordering.
+	TagCarbonIntensity Tag = "carbon_gkwh"
+	// TagRenewableFrac is the renewable supply fraction of the SED's
+	// grid in [0,1] at response time.
+	TagRenewableFrac Tag = "renewable_frac"
 )
 
 // Vector is one server's estimation vector. The zero value is empty

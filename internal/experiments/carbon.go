@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"greensched/internal/carbon"
+	"greensched/internal/cluster"
+	"greensched/internal/consolidation"
+	"greensched/internal/metrics"
+	"greensched/internal/report"
+	"greensched/internal/sched"
+	"greensched/internal/sim"
+	"greensched/internal/workload"
+)
+
+// CarbonConfig parameterizes the carbon-aware scheduling study: a
+// multi-day scenario on the Table I platform where each cluster sits
+// on its own grid (solar-diurnal vs fossil-heavy) and a deferrable
+// batch burst arrives every evening — exactly when the solar grid is
+// dirtiest. Three configurations run on the identical arrival
+// schedule:
+//
+//	GREENPERF            always-on, carbon-blind (the paper's §IV-B policy)
+//	GREENPERF+IDLE       carbon-blind with idle-shutdown consolidation
+//	CARBON+WINDOWS       carbon-ranked placement plus candidacy windows
+//	                     that defer the batch into clean periods
+//
+// The comparison makes the subsystem's claim measurable: equal work,
+// equal platform, bounded extra makespan, fewer grams.
+type CarbonConfig struct {
+	Days       int     // scenario length in days (≥1)
+	BurstTasks int     // deferrable tasks per 20:00 burst
+	TaskOps    float64 // flops per task
+
+	// Diurnal grid model for the solar site; the fossil site runs
+	// flatter and dirtier.
+	MeanG      float64 // solar-site daily mean, gCO2/kWh
+	AmplitudeG float64 // solar-site swing
+	CleanHour  float64 // solar-site cleanest hour
+
+	CleanG      float64 // candidacy window opens at/below this
+	DirtyG      float64 // idle capacity shed immediately at/above this
+	IdleTimeout float64 // idle-shutdown grace, seconds
+	MinOn       int     // nodes kept powered between windows
+	TickSec     float64 // controller cadence
+	MaxDeferSec float64 // deferral bound (makespan guarantee)
+
+	Seed int64
+}
+
+// DefaultCarbonConfig returns the calibrated two-day scenario. The
+// batch is deliberately heavy (≈33 min per task on a taurus core) so
+// execution energy, not the platform's idle floor, carries the
+// comparison; MinOn 0 lets the windowed controller keep the platform
+// dark between clean periods.
+func DefaultCarbonConfig() CarbonConfig {
+	return CarbonConfig{
+		Days:        2,
+		BurstTasks:  120,
+		TaskOps:     1.8e13, // ≈2000 s on a taurus core
+		MeanG:       300,
+		AmplitudeG:  250,
+		CleanHour:   13,
+		CleanG:      150,
+		DirtyG:      450,
+		IdleTimeout: 1200,
+		MinOn:       0,
+		TickSec:     300,
+		MaxDeferSec: 24 * 3600,
+		Seed:        1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c CarbonConfig) Validate() error {
+	switch {
+	case c.Days < 1:
+		return fmt.Errorf("experiments: carbon study needs at least one day")
+	case c.BurstTasks < 1 || c.TaskOps <= 0:
+		return fmt.Errorf("experiments: carbon study needs a positive burst workload")
+	case c.MaxDeferSec <= 0:
+		return fmt.Errorf("experiments: carbon study needs a positive defer bound")
+	}
+	return (carbon.Diurnal{MeanG: c.MeanG, AmplitudeG: c.AmplitudeG, CleanHour: c.CleanHour}).Validate()
+}
+
+// Profile builds the study's two-site grid: taurus and orion draw from
+// a solar-diurnal grid, sagittaire from a flatter fossil-heavy one.
+func (c CarbonConfig) Profile() *carbon.Profile {
+	solar := carbon.SiteProfile{Site: "solar-valley", Signal: carbon.Diurnal{
+		MeanG: c.MeanG, AmplitudeG: c.AmplitudeG, CleanHour: c.CleanHour,
+		RenewableMin: 0.05, RenewableMax: 0.8,
+	}}
+	fossil := carbon.SiteProfile{Site: "fossil-ridge", Signal: carbon.Diurnal{
+		MeanG: c.MeanG * 1.5, AmplitudeG: c.AmplitudeG * 0.2, CleanHour: c.CleanHour,
+		RenewableMin: 0.02, RenewableMax: 0.2,
+	}}
+	p := carbon.MustProfile(solar)
+	if err := p.SetCluster("sagittaire", fossil); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Tasks materializes the arrival schedule: one deferrable burst at
+// 20:00 of every scenario day.
+func (c CarbonConfig) Tasks() ([]workload.Task, error) {
+	var days [][]workload.Task
+	for d := 0; d < c.Days; d++ {
+		burst, err := workload.BurstThenRate{Total: c.BurstTasks, Burst: c.BurstTasks, Ops: c.TaskOps}.Tasks()
+		if err != nil {
+			return nil, err
+		}
+		days = append(days, workload.Shift(burst, float64(d)*carbon.DaySeconds+20*3600))
+	}
+	return workload.Merge(days...), nil
+}
+
+// MakespanBound is the guarantee the deferral bound implies: the last
+// burst (day Days−1, 20:00) starts no later than MaxDeferSec after
+// submission, plus a day of slack for draining on a partial platform.
+func (c CarbonConfig) MakespanBound() float64 {
+	return float64(c.Days-1)*carbon.DaySeconds + 20*3600 + c.MaxDeferSec + carbon.DaySeconds
+}
+
+// CarbonRun is one configuration's outcome.
+type CarbonRun struct {
+	Name      string
+	EnergyJ   float64
+	CO2Grams  float64
+	Makespan  float64
+	MeanWait  float64
+	Boots     int
+	Shutdowns int
+}
+
+// CarbonResult bundles the compared configurations.
+type CarbonResult struct {
+	Config CarbonConfig
+	Runs   []CarbonRun // fixed order: GREENPERF, GREENPERF+IDLE, CARBON+WINDOWS
+	// PerSiteCO2 breaks the carbon-aware run's emissions down by site.
+	PerSiteCO2 map[string]float64
+}
+
+// Run returns the named configuration's outcome, or false.
+func (r *CarbonResult) Run(name string) (CarbonRun, bool) {
+	for _, run := range r.Runs {
+		if run.Name == name {
+			return run, true
+		}
+	}
+	return CarbonRun{}, false
+}
+
+// Names of the compared configurations.
+const (
+	CarbonRunAlwaysOn = "GREENPERF"
+	CarbonRunIdle     = "GREENPERF+IDLE"
+	CarbonRunAware    = "CARBON+WINDOWS"
+)
+
+// RunCarbonStudy executes the three configurations on the identical
+// schedule, platform and grid profile.
+func RunCarbonStudy(cfg CarbonConfig) (*CarbonResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// A trimmed Table I platform (two nodes per cluster): large enough
+	// for real placement choices across both sites, small enough that
+	// the idle floor does not drown the batch energy the study shifts.
+	platform := cluster.MustPlatform(
+		cluster.NewNodes("orion", 2),
+		cluster.NewNodes("sagittaire", 2),
+		cluster.NewNodes("taurus", 2),
+	)
+	profile := cfg.Profile()
+	tasks, err := cfg.Tasks()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: carbon workload: %w", err)
+	}
+
+	base := sim.Config{
+		Platform: platform,
+		Tasks:    tasks,
+		Explore:  true,
+		Seed:     cfg.Seed,
+		Carbon:   profile,
+	}
+
+	alwaysOn := base
+	alwaysOn.Policy = sched.New(sched.GreenPerf)
+
+	idleCtl := &consolidation.Controller{IdleTimeout: cfg.IdleTimeout, MinOn: cfg.MinOn}
+	if cfg.MinOn < 1 {
+		idleCtl.MinOn = 1 // the blind controller requires a serving floor
+	}
+	if err := idleCtl.Validate(); err != nil {
+		return nil, err
+	}
+	idle := base
+	idle.Policy = sched.New(sched.GreenPerf)
+	idle.OnControl = idleCtl.Tick
+	idle.ControlEvery = cfg.TickSec
+
+	awareCtl := &consolidation.CarbonController{
+		Profile:     profile,
+		CleanG:      cfg.CleanG,
+		DirtyG:      cfg.DirtyG,
+		IdleTimeout: cfg.IdleTimeout,
+		MinOn:       cfg.MinOn,
+		MaxDeferSec: cfg.MaxDeferSec,
+	}
+	if err := awareCtl.Validate(); err != nil {
+		return nil, err
+	}
+	aware := base
+	aware.Policy = sched.New(sched.Carbon)
+	aware.OnControl = awareCtl.Tick
+	aware.ControlEvery = cfg.TickSec
+	aware.RetryEvery = 60
+
+	out := &CarbonResult{Config: cfg, PerSiteCO2: make(map[string]float64)}
+	for _, c := range []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{CarbonRunAlwaysOn, alwaysOn},
+		{CarbonRunIdle, idle},
+		{CarbonRunAware, aware},
+	} {
+		res, err := sim.Run(c.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: carbon %s: %w", c.name, err)
+		}
+		out.Runs = append(out.Runs, CarbonRun{
+			Name:      c.name,
+			EnergyJ:   res.EnergyJ,
+			CO2Grams:  res.CO2Grams,
+			Makespan:  res.Makespan,
+			MeanWait:  res.MeanWait(),
+			Boots:     res.Boots,
+			Shutdowns: res.Shutdowns,
+		})
+		if c.name == CarbonRunAware {
+			for clusterName, g := range res.PerClusterCO2 {
+				out.PerSiteCO2[profile.Site(clusterName).Site] += g
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table renders the comparison.
+func (r *CarbonResult) Table() *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Carbon-aware scheduling over %d day(s): %d deferrable tasks per 20:00 burst",
+			r.Config.Days, r.Config.BurstTasks),
+		Headers: []string{"Configuration", "Energy (MJ)", "CO2 (g)", "Makespan (h)", "Mean wait (h)", "Boots", "Shutdowns"},
+	}
+	for _, run := range r.Runs {
+		t.AddRow(run.Name,
+			fmt.Sprintf("%.2f", run.EnergyJ/1e6),
+			fmt.Sprintf("%.0f", run.CO2Grams),
+			fmt.Sprintf("%.1f", run.Makespan/3600),
+			fmt.Sprintf("%.2f", run.MeanWait/3600),
+			fmt.Sprintf("%d", run.Boots),
+			fmt.Sprintf("%d", run.Shutdowns),
+		)
+	}
+	return t
+}
+
+// Render writes the table plus the headline savings.
+func (r *CarbonResult) Render(w io.Writer) error {
+	if err := r.Table().Render(w); err != nil {
+		return err
+	}
+	aware, ok1 := r.Run(CarbonRunAware)
+	idle, ok2 := r.Run(CarbonRunIdle)
+	always, ok3 := r.Run(CarbonRunAlwaysOn)
+	if ok1 && ok2 && ok3 {
+		fmt.Fprintf(w, "\nCO2 saving of %s: %.1f%% vs %s, %.1f%% vs %s (makespan bound %.1f h, actual %.1f h)\n",
+			CarbonRunAware,
+			metrics.Gain(idle.CO2Grams, aware.CO2Grams)*100, CarbonRunIdle,
+			metrics.Gain(always.CO2Grams, aware.CO2Grams)*100, CarbonRunAlwaysOn,
+			r.Config.MakespanBound()/3600, aware.Makespan/3600)
+	}
+	if len(r.PerSiteCO2) > 0 {
+		fmt.Fprintf(w, "%s per-site CO2:", CarbonRunAware)
+		for _, site := range sortedKeys(r.PerSiteCO2) {
+			fmt.Fprintf(w, "  %s %.0f g", site, r.PerSiteCO2[site])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -55,6 +55,12 @@ type Service struct {
 // synthetic sources.
 type MeterFunc func() (watts float64, ok bool)
 
+// CarbonFunc reads the current carbon intensity of the grid behind
+// the SED's site, in gCO2/kWh; ok=false when no signal is attached.
+// Wire it to carbon.Live(signal, epoch) for a modelled grid, or to a
+// grid-operator feed in real deployments.
+type CarbonFunc func() (gPerKWh float64, ok bool)
+
 // EstimationFunc populates a SED's estimation vector for a request.
 // This is the paper's plug-in customization point: "A developer can
 // create his own performance estimation function and include it into a
@@ -68,6 +74,11 @@ type SEDConfig struct {
 	Slots int // concurrent executions (cores); ≥1
 	// Meter supplies live power readings for the dynamic estimator.
 	Meter MeterFunc
+	// Carbon supplies the site's live grid carbon intensity; when
+	// set, the default estimation function reports it under
+	// estvec.TagCarbonIntensity so carbon-aware policies can rank on
+	// it.
+	Carbon CarbonFunc
 	// EstimatorWindow is the moving-average window (requests); 0
 	// means 64.
 	EstimatorWindow int
@@ -216,6 +227,12 @@ func (s *SED) DefaultEstimation(req Request) *estvec.Vector {
 		Set(estvec.TagBootPowerW, s.cfg.BootPowerW).
 		SetBool(estvec.TagActive, s.active.Load()).
 		Set(estvec.TagRandom, randFloat())
+
+	if s.cfg.Carbon != nil {
+		if g, ok := s.cfg.Carbon(); ok {
+			v.Set(estvec.TagCarbonIntensity, g)
+		}
+	}
 
 	s.mu.Lock()
 	est := s.est

@@ -28,6 +28,12 @@ type Record struct {
 	Candidates  int      `xml:"candidates"`
 	Cost        float64  `xml:"electricity_cost"`
 
+	// Carbon is the grid carbon intensity in gCO2/kWh at the record's
+	// timestamp (0 = not reported). Carbon-aware rule sets consult it;
+	// the classic §IV-C rules ignore it, so plans mixing both kinds of
+	// records stay valid.
+	Carbon float64 `xml:"carbon_intensity,omitempty"`
+
 	// Unexpected marks measurements that only become visible when
 	// they occur (the §IV-C heat events), as opposed to scheduled
 	// events (energy-price changes) the planner may anticipate

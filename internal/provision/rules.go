@@ -11,6 +11,7 @@ import (
 type Status struct {
 	Temperature float64 // °C
 	Cost        float64 // electricity cost ratio in [0,1]
+	Carbon      float64 // grid carbon intensity in gCO2/kWh (0 = unknown)
 }
 
 // Rule maps a platform status to a candidate-node fraction. Rules are
@@ -98,4 +99,39 @@ func DefaultRules() Rules {
 			Fraction: 1.00,
 		},
 	}
+}
+
+// CarbonRules extends the administrator behaviours with grid
+// carbon-intensity bands: the candidate pool shrinks when the grid is
+// dirty (above dirtyG) and opens fully when it is clean (at or below
+// cleanG). Records without a carbon reading (Carbon == 0) fall through
+// to the classic cost rules, so carbon-aware and cost-only plans
+// compose. The heat rule keeps absolute priority — thermal events
+// trump green scheduling.
+func CarbonRules(cleanG, dirtyG float64) Rules {
+	carbon := Rules{
+		{
+			Name:     "heat",
+			Matches:  func(s Status) bool { return s.Temperature > DefaultHeatThreshold },
+			Fraction: 0.20,
+		},
+		{
+			Name:     "carbon-peak",
+			Matches:  func(s Status) bool { return s.Carbon >= dirtyG },
+			Fraction: 0.30,
+		},
+		{
+			Name:     "carbon-shoulder",
+			Matches:  func(s Status) bool { return s.Carbon > cleanG },
+			Fraction: 0.60,
+		},
+		{
+			Name:     "carbon-trough",
+			Matches:  func(s Status) bool { return s.Carbon > 0 },
+			Fraction: 1.00,
+		},
+	}
+	// Cost fallback for records without a carbon reading (skip the
+	// duplicate heat rule).
+	return append(carbon, DefaultRules()[1:]...)
 }

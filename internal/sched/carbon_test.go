@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"testing"
+
+	"greensched/internal/core"
+	"greensched/internal/estvec"
+)
+
+func carbonVec(name string, flops, powerW, gPerKWh float64) *estvec.Vector {
+	v := estvec.New(name).
+		Set(estvec.TagFlops, flops).
+		Set(estvec.TagPowerW, powerW).
+		SetBool(estvec.TagActive, true).
+		SetBool(estvec.TagKnown, true)
+	if gPerKWh > 0 {
+		v.Set(estvec.TagCarbonIntensity, gPerKWh)
+	}
+	return v
+}
+
+func TestCarbonPolicyPrefersCleanerGrid(t *testing.T) {
+	p := New(Carbon)
+	if p.Name() != "CARBON" {
+		t.Fatalf("policy name %q", p.Name())
+	}
+	hungryClean := carbonVec("hungry-clean", 5e9, 300, 50)
+	leanDirty := carbonVec("lean-dirty", 5e9, 200, 500)
+	if !p.Less(hungryClean, leanDirty) {
+		t.Error("the cleaner site must rank first despite higher watts")
+	}
+	if p.Less(leanDirty, hungryClean) {
+		t.Error("ordering must be asymmetric")
+	}
+}
+
+func TestCarbonPolicySingleSiteMatchesGreenPerf(t *testing.T) {
+	p := New(Carbon)
+	gp := New(GreenPerf)
+	a := carbonVec("a", 9e9, 220, 300).Set(estvec.TagGreenPerf, 220.0/9e9)
+	b := carbonVec("b", 4.6e9, 250, 300).Set(estvec.TagGreenPerf, 250.0/4.6e9)
+	if p.Less(a, b) != gp.Less(a, b) || p.Less(b, a) != gp.Less(b, a) {
+		t.Error("equal intensities must reproduce the GREENPERF ordering")
+	}
+}
+
+func TestCarbonPolicyLearningPhaseRanksLast(t *testing.T) {
+	p := New(Carbon)
+	known := carbonVec("known", 5e9, 200, 100)
+	novice := estvec.New("novice").SetBool(estvec.TagActive, true) // no estimates yet
+	if !p.Less(known, novice) {
+		t.Error("server with estimates must rank before a novice")
+	}
+	if p.Less(novice, known) {
+		t.Error("novice must not outrank a measured server")
+	}
+}
+
+// TestCarbonPolicyUnmeteredSiteFailsSafe: a server whose grid feed is
+// down (no intensity tag) must not look infinitely clean — it ranks
+// after every metered server, even a very dirty one.
+func TestCarbonPolicyUnmeteredSiteFailsSafe(t *testing.T) {
+	p := New(Carbon)
+	metered := carbonVec("metered-dirty", 5e9, 200, 550)
+	unmetered := carbonVec("unmetered", 5e9, 200, 0) // no tag set
+	if !p.Less(metered, unmetered) || p.Less(unmetered, metered) {
+		t.Error("unmetered server must rank after the metered one")
+	}
+	// The weighted policy applies the same guard while carbon carries
+	// weight…
+	wp := WeightedGreenPolicy{W: core.GreenWeights{Watts: 1, Carbon: 1}}
+	if !wp.Less(metered, unmetered) || wp.Less(unmetered, metered) {
+		t.Error("weighted policy must rank the unmetered server last")
+	}
+	// …but ignores the tag when the carbon weight is zero.
+	wattsOnly := WeightedGreenPolicy{W: core.GreenWeights{Watts: 1}}
+	lean := carbonVec("lean-unmetered", 5e9, 100, 0)
+	if !wattsOnly.Less(lean, metered) {
+		t.Error("carbon-blind weighting must still rank by watts")
+	}
+}
+
+func TestServerFromVectorCarriesCarbonIntensity(t *testing.T) {
+	v := carbonVec("x", 5e9, 200, 321)
+	srv, ok := ServerFromVector(v)
+	if !ok {
+		t.Fatal("vector with flops+power must convert")
+	}
+	if srv.CarbonIntensity != 321 {
+		t.Errorf("CarbonIntensity = %v, want 321", srv.CarbonIntensity)
+	}
+	srv2, _ := ServerFromVector(carbonVec("y", 5e9, 200, 0))
+	if srv2.CarbonIntensity != 0 {
+		t.Errorf("missing tag must read as 0, got %v", srv2.CarbonIntensity)
+	}
+}
+
+func TestWeightedGreenPolicy(t *testing.T) {
+	fast := carbonVec("fast", 10e9, 400, 400)
+	clean := carbonVec("clean", 4e9, 100, 20)
+	perfOnly := WeightedGreenPolicy{W: core.GreenWeights{Perf: 1}}
+	if !perfOnly.Less(fast, clean) {
+		t.Error("perf-weighted policy must prefer the fast node")
+	}
+	carbonOnly := WeightedGreenPolicy{W: core.GreenWeights{Carbon: 1}}
+	if !carbonOnly.Less(clean, fast) {
+		t.Error("carbon-weighted policy must prefer the clean node")
+	}
+	// Novices rank last regardless of weights.
+	novice := estvec.New("novice").SetBool(estvec.TagActive, true)
+	if !carbonOnly.Less(fast, novice) || carbonOnly.Less(novice, fast) {
+		t.Error("novice must rank last")
+	}
+	if perfOnly.Name() != "WEIGHTED(p=1,w=0,c=0)" {
+		t.Errorf("name %q", perfOnly.Name())
+	}
+}

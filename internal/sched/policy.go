@@ -44,6 +44,11 @@ const (
 	// estimated wait first, energy-blind. It bounds what queue
 	// balancing alone achieves without the paper's energy tags.
 	LeastLoaded Kind = "LEASTLOADED"
+	// Carbon ranks by grams-per-flop: the GreenPerf ratio weighted by
+	// each site's current grid carbon intensity (TagCarbonIntensity).
+	// On a single-site platform it coincides with GREENPERF; across
+	// sites it shifts work toward cleaner grids.
+	Carbon Kind = "CARBON"
 )
 
 // Kinds lists the bundled comparison policies in the order the paper's
@@ -64,6 +69,8 @@ func New(k Kind) Policy {
 		return greenPerfPolicy{}
 	case LeastLoaded:
 		return leastLoadedPolicy{}
+	case Carbon:
+		return carbonPolicy{}
 	default:
 		panic(fmt.Sprintf("sched: unknown policy kind %q", k))
 	}
@@ -118,6 +125,82 @@ func (randomPolicy) Less(a, b *estvec.Vector) bool {
 	return less(a, b)
 }
 
+// carbonPolicy ranks by the emissions rate of placing work on a
+// server: power × site carbon intensity / flops (grams per flop,
+// ascending). Servers missing the power/flops estimates (learning
+// phase) rank last. A server whose vector carries no intensity tag
+// ranks after every metered one — an unmetered site must fail safe,
+// not look infinitely clean; when *no* server reports an intensity
+// (single-site platform without a grid feed) the ordering degrades to
+// GreenPerf via CarbonPerf's neutral intensity.
+type carbonPolicy struct{}
+
+func (carbonPolicy) Name() string { return string(Carbon) }
+func (carbonPolicy) Less(a, b *estvec.Vector) bool {
+	if a.Has(estvec.TagCarbonIntensity) != b.Has(estvec.TagCarbonIntensity) {
+		return a.Has(estvec.TagCarbonIntensity)
+	}
+	sa, aok := carbonRate(a)
+	sb, bok := carbonRate(b)
+	switch {
+	case aok && !bok:
+		return true
+	case !aok && bok:
+		return false
+	case aok && bok && sa != sb:
+		return sa < sb
+	default:
+		less := estvec.ByTagAsc(estvec.TagGreenPerf,
+			estvec.ByTagDesc(estvec.TagFlops, estvec.ByServerName))
+		return less(a, b)
+	}
+}
+
+func carbonRate(v *estvec.Vector) (float64, bool) {
+	srv, ok := ServerFromVector(v)
+	if !ok {
+		return 0, false
+	}
+	return srv.CarbonPerf(), true
+}
+
+// WeightedGreenPolicy ranks by the blended core.GreenWeights score —
+// the provider's performance/watts/carbon weighting applied as a
+// plug-in scheduler. Servers still in the learning phase rank last,
+// and while the carbon axis carries weight, servers without an
+// intensity reading rank after metered ones (fail safe, as in the
+// CARBON policy).
+type WeightedGreenPolicy struct {
+	W core.GreenWeights
+}
+
+// Name implements Policy.
+func (p WeightedGreenPolicy) Name() string {
+	return fmt.Sprintf("WEIGHTED(p=%g,w=%g,c=%g)", p.W.Perf, p.W.Watts, p.W.Carbon)
+}
+
+// Less implements Policy.
+func (p WeightedGreenPolicy) Less(a, b *estvec.Vector) bool {
+	if p.W.Carbon > 0 && a.Has(estvec.TagCarbonIntensity) != b.Has(estvec.TagCarbonIntensity) {
+		return a.Has(estvec.TagCarbonIntensity)
+	}
+	sva, aok := ServerFromVector(a)
+	svb, bok := ServerFromVector(b)
+	switch {
+	case aok && !bok:
+		return true
+	case !aok && bok:
+		return false
+	case !aok && !bok:
+		return a.Server < b.Server
+	}
+	sa, sb := p.W.Score(sva), p.W.Score(svb)
+	if sa != sb {
+		return sa < sb
+	}
+	return a.Server < b.Server
+}
+
 // ScorePolicy ranks by the Eq. 6 score for a task of Ops flops under
 // the combined preference Pref. It is the policy behind the §III-C
 // energy-event scheduling process.
@@ -164,12 +247,13 @@ func ServerFromVector(v *estvec.Vector) (core.Server, bool) {
 		return core.Server{}, false
 	}
 	return core.Server{
-		Name:       v.Server,
-		Flops:      flops,
-		PowerW:     pw,
-		BootPowerW: v.Value(estvec.TagBootPowerW, 0),
-		BootSec:    v.Value(estvec.TagBootSec, 0),
-		WaitSec:    math.Max(0, v.Value(estvec.TagWaitSec, 0)),
-		Active:     v.Bool(estvec.TagActive),
+		Name:            v.Server,
+		Flops:           flops,
+		PowerW:          pw,
+		BootPowerW:      v.Value(estvec.TagBootPowerW, 0),
+		BootSec:         v.Value(estvec.TagBootSec, 0),
+		WaitSec:         math.Max(0, v.Value(estvec.TagWaitSec, 0)),
+		CarbonIntensity: v.Value(estvec.TagCarbonIntensity, 0),
+		Active:          v.Bool(estvec.TagActive),
 	}, true
 }

@@ -35,8 +35,9 @@ type Control interface {
 	// Nodes lists every SED in platform order.
 	Nodes() []NodeView
 	// Unplaced counts submitted tasks that no server could accept
-	// (they retry every virtual second) — backlog pressure that the
-	// controller should answer by powering nodes on.
+	// (they retry every Config.RetryEvery virtual seconds) — backlog
+	// pressure that the controller should answer by powering nodes
+	// on or restoring candidacy.
 	Unplaced() int
 	// PowerOff shuts an idle node down and removes it from candidacy.
 	// It refuses nodes that are not On, still have work, or are the
@@ -45,6 +46,13 @@ type Control interface {
 	// PowerOn boots an Off node (or restores candidacy to a drained
 	// one). Capacity becomes available after the node's boot time.
 	PowerOn(name string) error
+	// SetCandidate gates a node's eligibility for new work without
+	// changing its power state: a powered-on non-candidate finishes
+	// its accepted queue but receives no further elections. Revoking
+	// every candidacy defers all new arrivals (they retry every
+	// Config.RetryEvery seconds) — the primitive behind shifting
+	// deferrable work into low-carbon windows.
+	SetCandidate(name string, candidate bool) error
 }
 
 // runnerControl implements Control against a Runner at a fixed tick
@@ -128,6 +136,15 @@ func (c *runnerControl) PowerOn(name string) error {
 		}
 		s.idleAt = t.Seconds()
 	})
+	return nil
+}
+
+func (c *runnerControl) SetCandidate(name string, candidate bool) error {
+	sed := c.r.sedByName(name)
+	if sed == nil {
+		return fmt.Errorf("sim: SetCandidate of unknown node %q", name)
+	}
+	sed.candidate = candidate
 	return nil
 }
 

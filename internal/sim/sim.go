@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"greensched/internal/carbon"
 	"greensched/internal/cluster"
 	"greensched/internal/estvec"
 	"greensched/internal/power"
@@ -72,6 +73,14 @@ type Config struct {
 	// and resubmitted by the client.
 	Crashes map[string]float64
 
+	// Carbon, when set, attaches a grid carbon-intensity profile to
+	// the platform: every node's exact energy accounting is integrated
+	// against its site's signal into grams of CO2 (Result.CO2Grams),
+	// and SEDs report their site's current intensity and renewable
+	// fraction in their estimation vectors so carbon-aware policies
+	// can rank on them.
+	Carbon *carbon.Profile
+
 	// SampleEvery records a platform power sample every so many
 	// seconds (0 disables the series).
 	SampleEvery float64
@@ -88,6 +97,13 @@ type Config struct {
 	// once all tasks complete.
 	OnControl    func(now float64, ctl Control)
 	ControlEvery float64
+
+	// RetryEvery is the client back-off between election attempts for
+	// a request no server can accept (all candidacies revoked or
+	// everything powered off); 0 means the default 1 second.
+	// Controllers that defer work for hours (carbon windows) should
+	// raise it so the retry traffic stays proportionate.
+	RetryEvery float64
 }
 
 func (c *Config) defaults() error {
@@ -105,6 +121,9 @@ func (c *Config) defaults() error {
 	}
 	if c.EstimatorWindow <= 0 {
 		c.EstimatorWindow = 64
+	}
+	if c.RetryEvery <= 0 {
+		c.RetryEvery = 1.0
 	}
 	return nil
 }
@@ -147,6 +166,13 @@ type Result struct {
 	PerClusterTasks  map[string]int
 	PerClusterEnergy map[string]power.Joules
 
+	// CO2Grams is the whole-platform emissions over the run, with
+	// per-node and per-cluster breakdowns. All zero unless
+	// Config.Carbon is set.
+	CO2Grams      float64
+	PerNodeCO2G   map[string]float64
+	PerClusterCO2 map[string]float64
+
 	Records []TaskRecord
 	Series  []Point
 
@@ -185,6 +211,11 @@ type sedState struct {
 	// static holds the benchmark calibration when Config.Static is
 	// set; estimates then never change at runtime.
 	static *cluster.Calibration
+
+	// site and co2 carry the node's grid signal and emissions
+	// integrator when Config.Carbon is set.
+	site *carbon.SiteProfile
+	co2  *carbon.Integrator
 
 	// candidate marks the SED as eligible for new work (the adaptive
 	// experiment toggles this; the placement experiments keep all
@@ -270,6 +301,11 @@ func (s *sedState) vector(now float64, rng *rand.Rand) *estvec.Vector {
 		SetBool(estvec.TagActive, s.candidate && s.node.State() == power.On).
 		Set(estvec.TagRandom, rng.Float64())
 
+	if s.site != nil {
+		v.Set(estvec.TagCarbonIntensity, s.site.Signal.IntensityAt(now)).
+			Set(estvec.TagRenewableFrac, s.site.Signal.RenewableAt(now))
+	}
+
 	if s.static != nil {
 		v.SetBool(estvec.TagKnown, true).
 			Set(estvec.TagRequests, 1e9). // static: never "novice"
@@ -326,6 +362,8 @@ func NewRunner(cfg Config) (*Runner, error) {
 			PerNodeEnergyJ:   make(map[string]power.Joules),
 			PerClusterTasks:  make(map[string]int),
 			PerClusterEnergy: make(map[string]power.Joules),
+			PerNodeCO2G:      make(map[string]float64),
+			PerClusterCO2:    make(map[string]float64),
 		},
 	}
 	r.sel = &sched.Selector{Policy: cfg.Policy, QueueFactor: cfg.QueueFactor, Explore: cfg.Explore, RankAll: cfg.RankAll}
@@ -349,6 +387,18 @@ func NewRunner(cfg Config) (*Runner, error) {
 		if cfg.Static {
 			cal := cluster.BenchmarkNode(spec, 1e9, 0, nil)
 			sed.static = &cal
+		}
+		if cfg.Carbon != nil {
+			site := cfg.Carbon.Site(spec.Cluster)
+			co2, err := carbon.NewIntegrator(site, 0)
+			if err != nil {
+				return nil, fmt.Errorf("sim: node %s: %w", spec.Name, err)
+			}
+			sed.site = &site
+			sed.co2 = co2
+			sed.node.OnSettle = func(_, to float64, w power.Watts) {
+				co2.Advance(to, w)
+			}
 		}
 		r.seds = append(r.seds, sed)
 	}
@@ -416,7 +466,7 @@ func (r *Runner) onArrival(now float64, p pendingTask) {
 			p.waiting = true
 			r.unplaced++
 		}
-		r.eng.After(1.0, "retry", func(t2 simtime.Time) { r.onArrival(t2.Seconds(), p) })
+		r.eng.After(r.cfg.RetryEvery, "retry", func(t2 simtime.Time) { r.onArrival(t2.Seconds(), p) })
 		return
 	}
 	if p.waiting {
@@ -553,5 +603,11 @@ func (r *Runner) finalize() {
 		r.res.PerNodeEnergyJ[sed.node.Spec.Name] = e
 		r.res.PerClusterEnergy[sed.node.Spec.Cluster] += e
 		r.res.EnergyJ += e
+		if sed.co2 != nil {
+			g := sed.co2.Grams()
+			r.res.PerNodeCO2G[sed.node.Spec.Name] = g
+			r.res.PerClusterCO2[sed.node.Spec.Cluster] += g
+			r.res.CO2Grams += g
+		}
 	}
 }

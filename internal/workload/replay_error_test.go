@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseTraceErrorsCarryLineNumbers: a malformed row must be
+// reported with its 1-based physical line (comments and blanks
+// counted), which is what makes multi-thousand-line trace files
+// debuggable.
+func TestParseTraceErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		in   string
+		line string
+	}{
+		{"# header\n\n10,abc\n", "line 3"},            // malformed ops
+		{"0,1e9\n5,1e9,zz\n", "line 2"},               // bad preference column
+		{"0,1e9\n1,1e9\nnope,1e9\n", "line 3"},        // bad submit time
+		{"0,1e9\n1,1e9,0.5,too,many\n", "line 2"},     // field count
+		{"# ok\n0,1e9\n# more\n\n-3,1e9\n", "line 5"}, // negative submit
+	}
+	for _, c := range cases {
+		_, err := ParseTrace(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%q: accepted", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.line) {
+			t.Errorf("%q: error %q does not name %s", c.in, err, c.line)
+		}
+	}
+}
+
+func TestParseTraceRejectsNegativeOps(t *testing.T) {
+	if _, err := ParseTrace(strings.NewReader("0,-1e9\n")); err == nil {
+		t.Error("negative ops accepted")
+	}
+}
+
+// TestParseTraceUnsortedSubmitsAreSortedStably: out-of-order rows are
+// legal (recorded traces often interleave sources) and must come back
+// time-sorted with ties keeping file order, then densely renumbered.
+func TestParseTraceUnsortedSubmitsAreSortedStably(t *testing.T) {
+	in := "30,3e9\n10,1e9\n10,2e9\n0,9e9\n"
+	tasks, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubmit := []float64{0, 10, 10, 30}
+	wantOps := []float64{9e9, 1e9, 2e9, 3e9} // tie at t=10 keeps file order
+	for i, task := range tasks {
+		if task.Submit != wantSubmit[i] || task.Ops != wantOps[i] {
+			t.Fatalf("row %d = %+v, want submit %v ops %v", i, task, wantSubmit[i], wantOps[i])
+		}
+		if task.ID != i {
+			t.Fatalf("IDs not dense after sorting: %+v", tasks)
+		}
+	}
+}
+
+// TestParseTraceWhitespaceDialect: the dialect trims field whitespace
+// and skips blank/comment lines — shared with carbon.ParseTrace so the
+// two CSVs stay interchangeable tooling-wise.
+func TestParseTraceWhitespaceDialect(t *testing.T) {
+	in := "  # padded comment\n\n  10 , 1e9 , 0.25  \n"
+	tasks, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0].Submit != 10 || tasks[0].Ops != 1e9 || tasks[0].Pref != 0.25 {
+		t.Fatalf("parsed %+v", tasks)
+	}
+}
