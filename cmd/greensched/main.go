@@ -5,6 +5,7 @@
 //	greensched adaptive  [-seed N]             Figures 8-9             (§IV-C)
 //	greensched replicate [-seeds N]            Table II across seeds, mean ± CI
 //	greensched carbon    [-days N]             carbon-blind vs carbon-aware study
+//	greensched sla       [-seed N]             deadline/value-aware scheduling study
 //	greensched all       [-seed N]             everything above
 //
 // Output is written to stdout as ASCII tables/figures.
@@ -52,7 +53,7 @@ func run(args []string, out io.Writer) error {
 	csvDir := fs.String("csv", "", "also export figure data as CSV files into this directory")
 	traceFile := fs.String("trace", "", "replay: submission trace file (submit_seconds,ops[,preference] lines)")
 	seeds := fs.Int("seeds", 10, "replicate: number of independent seeds")
-	policyName := fs.String("policy", "GREENPERF", "replay: scheduling policy (RANDOM|POWER|PERFORMANCE|GREENPERF|CARBON)")
+	policyName := fs.String("policy", "GREENPERF", "replay: scheduling policy (RANDOM|POWER|PERFORMANCE|GREENPERF|LEASTLOADED|CARBON|RENEWABLE)")
 	days := fs.Int("days", 2, "carbon: scenario length in days")
 	burst := fs.Int("burst", 0, "carbon: deferrable tasks per evening burst (0 = default)")
 	if err := fs.Parse(args[1:]); err != nil {
@@ -80,6 +81,8 @@ func run(args []string, out io.Writer) error {
 		return res.Render(out)
 	case "carbon":
 		return runCarbon(out, *seed, *days, *burst)
+	case "sla":
+		return runSLA(out, *seed)
 	case "replay":
 		return runReplay(out, *traceFile, *policyName, *seed)
 	case "all":
@@ -107,6 +110,16 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "greensched: unknown command %q\n", cmd)
 		return errUsage
 	}
+}
+
+func runSLA(out io.Writer, seed int64) error {
+	cfg := experiments.DefaultSLAConfig()
+	cfg.Seed = seed
+	res, err := experiments.RunSLAStudy(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(out)
 }
 
 func runCarbon(out io.Writer, seed int64, days, burst int) error {
@@ -175,7 +188,7 @@ func runReplay(out io.Writer, traceFile, policyName string, seed int64) error {
 	}
 	kind := sched.Kind(policyName)
 	switch kind {
-	case sched.Random, sched.Power, sched.Performance, sched.GreenPerf, sched.LeastLoaded, sched.Carbon:
+	case sched.Random, sched.Power, sched.Performance, sched.GreenPerf, sched.LeastLoaded, sched.Carbon, sched.Renewable:
 	default:
 		return fmt.Errorf("unknown policy %q", policyName)
 	}
@@ -253,6 +266,7 @@ commands:
   replicate   Table II across seeds: mean ± CI, Welch tests (-seeds N)
   consolidation  related-work baseline: idle shutdown vs always-on
   carbon      carbon-blind vs carbon-aware scheduling (-days N [-burst N])
+  sla         deadline/value-aware scheduling: energy-only vs SLA-aware vs SLA+carbon
   replay      schedule an external trace (-trace FILE [-policy P])
   all         run every experiment
 

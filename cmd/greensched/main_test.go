@@ -40,6 +40,40 @@ func TestReplaySmoke(t *testing.T) {
 	}
 }
 
+// TestReplaySLATrace replays a trace carrying the SLA columns under
+// the RENEWABLE policy — both PR additions through one CLI pass.
+func TestReplaySLATrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	traceData := "# submit,ops,pref,deadline,value,class\n" +
+		"0,4.5e11,0,600,0.5,deadline\n1,4.5e11\n2,4.5e11,0,0,2,interactive\n"
+	if err := os.WriteFile(path, []byte(traceData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"replay", "-trace", path, "-policy", "RENEWABLE"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "replayed 3 tasks under RENEWABLE") {
+		t.Errorf("unexpected replay output:\n%s", b.String())
+	}
+}
+
+// TestSLACommandSmoke runs the SLA study end-to-end through the CLI
+// dispatch and checks the headline report renders.
+func TestSLACommandSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"sla", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"ENERGY-ONLY", "SLA-AWARE", "SLA+CARBON", "Per-class ledger"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestUnknownCommandAndMissingArgs(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{}, &b); err != errUsage {

@@ -17,8 +17,12 @@
 //	                        per-node CO2 accounting
 //	internal/carbon         grid carbon-intensity signals, site profiles
 //	                        and the joules→grams integrator
+//	internal/sla            SLA classes (deadline, value, penalty curve),
+//	                        admission control and the revenue/penalty
+//	                        ledger
 //	internal/consolidation  related-work baseline (concentration + idle
-//	                        shutdown) and the carbon-window controller
+//	                        shutdown) and the carbon-window controller,
+//	                        both guarded by pending deadline slack
 //	internal/analysis       Student-t / Welch statistics for multi-seed replication
 //	internal/experiments    one harness per table/figure + extension studies
 //	cmd/greensched          CLI to regenerate the evaluation

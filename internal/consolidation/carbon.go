@@ -57,6 +57,19 @@ type CarbonController struct {
 	// window before every site is force-opened.
 	MaxDeferSec float64
 
+	// DeadlineSlackSec, when positive, subordinates energy savings to
+	// admitted SLAs: whenever the tightest pending deadline margin
+	// (sim Control.PendingSlack) falls to or below this guard,
+	// shutdowns pause and — if no node is powered — the cleanest Off
+	// node boots as *express capacity* for the deadline traffic
+	// (which reaches it through the sla.Config.UrgentBypass lane).
+	// The candidacy windows themselves stay closed, so deferred batch
+	// work cannot ride the emergency: carbon deferral consumes only a
+	// task's surplus slack, never seconds the deadline needs, and the
+	// grid-window discipline survives intact. 0 keeps the SLA-blind
+	// behaviour.
+	DeadlineSlackSec float64
+
 	deferring  bool
 	deferSince float64
 }
@@ -76,6 +89,8 @@ func (c *CarbonController) Validate() error {
 		return fmt.Errorf("consolidation: WakeSlack %d must be non-negative", c.WakeSlack)
 	case c.MaxDeferSec <= 0:
 		return fmt.Errorf("consolidation: MaxDeferSec %v must be positive (it bounds the makespan cost)", c.MaxDeferSec)
+	case c.DeadlineSlackSec < 0:
+		return fmt.Errorf("consolidation: DeadlineSlackSec %v must be non-negative", c.DeadlineSlackSec)
 	}
 	return nil
 }
@@ -100,6 +115,16 @@ func (c *CarbonController) Tick(now float64, ctl sim.Control) {
 		c.deferring = false
 	}
 	forced := c.deferring && now-c.deferSince >= c.MaxDeferSec
+
+	// SLA guard: an admitted deadline inside the guard margin trumps
+	// energy savings (but not the windows — deferred work stays
+	// deferred; the express lane only needs powered capacity).
+	urgent := false
+	if c.DeadlineSlackSec > 0 {
+		if slack, ok := ctl.PendingSlack(); ok && slack <= c.DeadlineSlackSec {
+			urgent = true
+		}
+	}
 
 	open := func(i int) bool { return forced || intensity[i] <= c.CleanG }
 
@@ -149,6 +174,35 @@ func (c *CarbonController) Tick(now float64, ctl sim.Control) {
 				need -= nodes[i].Slots
 			}
 		}
+	}
+
+	// SLA express boot: a deadline is inside the guard margin and the
+	// platform is dark — boot the cleanest node so the bypass lane has
+	// somewhere to land. Shutdowns pause while the deadline is tight;
+	// shedding capacity now would spend the very seconds it needs.
+	if urgent {
+		usable := 0
+		for _, n := range nodes {
+			if n.State.Usable() {
+				usable++
+			}
+		}
+		if usable == 0 {
+			sort.SliceStable(order, func(a, b int) bool { return intensity[order[a]] < intensity[order[b]] })
+			for _, i := range order {
+				if nodes[i].State == power.Off && ctl.PowerOn(nodes[i].Name) == nil {
+					// PowerOn restores candidacy; re-close it when the
+					// site's window is shut so the deferred backlog
+					// cannot ride the emergency boot — only the bypass
+					// lane may use this node.
+					if !open(i) {
+						_ = ctl.SetCandidate(nodes[i].Name, false)
+					}
+					break
+				}
+			}
+		}
+		return
 	}
 
 	// Shutdown path: dirty-grid idle nodes go down immediately,

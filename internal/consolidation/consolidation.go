@@ -107,6 +107,15 @@ type Controller struct {
 	// unplaced backlog (0 = exact match). Slack trades energy for
 	// reaction time on bursty arrivals.
 	WakeSlack int
+
+	// DeadlineSlackSec, when positive, makes the controller refuse
+	// energy savings that would breach an admitted task's deadline:
+	// while the tightest pending deadline margin (sim
+	// Control.PendingSlack) is at or below this guard, shutdowns pause
+	// and the backlog is treated as urgent enough to wake capacity
+	// even when free slots nominally cover it. 0 keeps the classic
+	// SLA-blind behaviour.
+	DeadlineSlackSec float64
 }
 
 // Validate checks the controller parameters.
@@ -120,6 +129,9 @@ func (c *Controller) Validate() error {
 	if c.WakeSlack < 0 {
 		return fmt.Errorf("consolidation: WakeSlack %d must be non-negative", c.WakeSlack)
 	}
+	if c.DeadlineSlackSec < 0 {
+		return fmt.Errorf("consolidation: DeadlineSlackSec %v must be non-negative", c.DeadlineSlackSec)
+	}
 	return nil
 }
 
@@ -128,6 +140,15 @@ func (c *Controller) Validate() error {
 // apply the idle timeout while respecting MinOn.
 func (c *Controller) Tick(now float64, ctl sim.Control) {
 	nodes := ctl.Nodes()
+
+	// SLA guard: while an admitted deadline is within the guard
+	// margin, powering down is off the table and waking is urgent.
+	urgent := false
+	if c.DeadlineSlackSec > 0 {
+		if slack, ok := ctl.PendingSlack(); ok && slack <= c.DeadlineSlackSec {
+			urgent = true
+		}
+	}
 
 	// How many slots are (or will shortly be) available?
 	availOn := 0
@@ -165,6 +186,11 @@ func (c *Controller) Tick(now float64, ctl sim.Control) {
 	if need > 0 {
 		need += c.WakeSlack
 	}
+	if urgent && need <= 0 && backlog > 0 {
+		// A deadline is at risk: free slots on loaded nodes may drain
+		// too late, so answer the backlog with fresh capacity anyway.
+		need = backlog
+	}
 	for _, n := range nodes {
 		if need <= 0 {
 			break
@@ -180,7 +206,12 @@ func (c *Controller) Tick(now float64, ctl sim.Control) {
 
 	// Shutdown path: idle past the timeout, never below MinOn. Only
 	// fully On nodes qualify — a Booting node was just paid for and is
-	// about to receive the backlog that woke it.
+	// about to receive the backlog that woke it. Paused entirely while
+	// a pending deadline sits inside the SLA guard: a node shed now
+	// costs BootSec to win back, exactly the seconds the task lacks.
+	if urgent {
+		return
+	}
 	for _, n := range nodes {
 		if availOn <= c.MinOn {
 			break

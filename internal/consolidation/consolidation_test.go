@@ -115,10 +115,20 @@ type fakeControl struct {
 	unplaced int
 	ons      []string
 	offs     []string
+
+	// pendingSlack scripts PendingSlack; nil = no pending deadlines.
+	pendingSlack *float64
 }
 
 func (f *fakeControl) Nodes() []sim.NodeView { return f.nodes }
 func (f *fakeControl) Unplaced() int         { return f.unplaced }
+
+func (f *fakeControl) PendingSlack() (float64, bool) {
+	if f.pendingSlack == nil {
+		return 0, false
+	}
+	return *f.pendingSlack, true
+}
 
 func (f *fakeControl) PowerOn(name string) error {
 	for i := range f.nodes {

@@ -1,0 +1,178 @@
+package consolidation
+
+import (
+	"testing"
+
+	"greensched/internal/carbon"
+	"greensched/internal/power"
+	"greensched/internal/sim"
+)
+
+func slackOf(v float64) *float64 { return &v }
+
+// TestControllerGuardPausesShutdowns: the idle-shutdown controller
+// must not shed capacity while an admitted deadline sits inside the
+// guard margin.
+func TestControllerGuardPausesShutdowns(t *testing.T) {
+	c := &Controller{IdleTimeout: 60, MinOn: 1, DeadlineSlackSec: 300}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ctl := &fakeControl{
+		nodes: []sim.NodeView{
+			onNode("a", 2, 0, 1e4), // idle far past the timeout
+			onNode("b", 2, 1, 0),
+		},
+		pendingSlack: slackOf(100), // tight deadline pending
+	}
+	c.Tick(0, ctl)
+	if len(ctl.offs) != 0 {
+		t.Fatalf("shutdowns issued under a tight deadline: %v", ctl.offs)
+	}
+
+	// Same platform, comfortable slack: the idle node goes down.
+	ctl = &fakeControl{
+		nodes: []sim.NodeView{
+			onNode("a", 2, 0, 1e4),
+			onNode("b", 2, 1, 0),
+		},
+		pendingSlack: slackOf(5000),
+	}
+	c.Tick(0, ctl)
+	if len(ctl.offs) != 1 || ctl.offs[0] != "a" {
+		t.Fatalf("comfortable slack must allow the idle shutdown, got %v", ctl.offs)
+	}
+}
+
+// TestControllerGuardWakesForUrgentBacklog: queued deadline work with
+// tight slack counts as urgent backlog even when free slots nominally
+// cover it — fresh capacity boots anyway.
+func TestControllerGuardWakesForUrgentBacklog(t *testing.T) {
+	c := &Controller{IdleTimeout: 600, MinOn: 1, DeadlineSlackSec: 300}
+	ctl := &fakeControl{
+		nodes: []sim.NodeView{
+			{Name: "busy", State: power.On, Slots: 2, Running: 1, Queued: 1, Candidate: true},
+			offNode("spare", 2),
+		},
+		pendingSlack: slackOf(50),
+	}
+	c.Tick(0, ctl)
+	if len(ctl.ons) != 1 || ctl.ons[0] != "spare" {
+		t.Fatalf("urgent backlog must boot the spare node, got %v", ctl.ons)
+	}
+
+	// Without the guard the free slot on "busy" absorbs the backlog
+	// and nothing boots.
+	blind := &Controller{IdleTimeout: 600, MinOn: 1}
+	ctl = &fakeControl{
+		nodes: []sim.NodeView{
+			{Name: "busy", State: power.On, Slots: 2, Running: 1, Queued: 1, Candidate: true},
+			offNode("spare", 2),
+		},
+		pendingSlack: slackOf(50),
+	}
+	blind.Tick(0, ctl)
+	if len(ctl.ons) != 0 {
+		t.Fatalf("SLA-blind controller booted %v", ctl.ons)
+	}
+}
+
+// carbonCtl builds a validated carbon controller over a constant-dirty
+// single-site profile, so every candidacy window is closed.
+func dirtyCarbonController(t *testing.T, slackGuard float64) *CarbonController {
+	t.Helper()
+	profile := carbon.MustProfile(carbon.SiteProfile{Site: "grid", Signal: carbon.Constant{G: 600}})
+	c := &CarbonController{
+		Profile:          profile,
+		CleanG:           150,
+		DirtyG:           450,
+		IdleTimeout:      600,
+		MinOn:            0,
+		MaxDeferSec:      3600 * 20,
+		DeadlineSlackSec: slackGuard,
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCarbonControllerExpressBoot: on a dark platform under a closed
+// window, a tight pending deadline boots exactly one node as express
+// capacity — with its candidacy still revoked, so the deferred batch
+// cannot ride the emergency.
+func TestCarbonControllerExpressBoot(t *testing.T) {
+	c := dirtyCarbonController(t, 450)
+	ctl := &fakeControl{
+		nodes: []sim.NodeView{
+			offNode("n0", 2),
+			offNode("n1", 2),
+		},
+		unplaced:     5, // deferred batch waiting for a window
+		pendingSlack: slackOf(200),
+	}
+	c.Tick(0, ctl)
+	if len(ctl.ons) != 1 {
+		t.Fatalf("express boot must power exactly one node, got %v", ctl.ons)
+	}
+	for _, n := range ctl.nodes {
+		if n.Candidate {
+			t.Fatalf("express node %s kept candidacy: the deferred batch could flood in", n.Name)
+		}
+	}
+}
+
+// TestCarbonControllerGuardKeepsWindowsShut: the SLA guard must not
+// force candidacy windows open — deferral discipline survives, only
+// shutdowns pause.
+func TestCarbonControllerGuardKeepsWindowsShut(t *testing.T) {
+	c := dirtyCarbonController(t, 450)
+	ctl := &fakeControl{
+		nodes: []sim.NodeView{
+			onNode("n0", 2, 1, 0),   // serving express traffic
+			onNode("n1", 2, 0, 1e4), // idle past every timeout
+		},
+		unplaced:     5,
+		pendingSlack: slackOf(200),
+	}
+	// Established candidacy state: both revoked by earlier ticks.
+	ctl.nodes[0].Candidate = false
+	ctl.nodes[1].Candidate = false
+	c.Tick(0, ctl)
+	for _, n := range ctl.nodes {
+		if n.Candidate {
+			t.Fatalf("tight slack opened the window on %s", n.Name)
+		}
+	}
+	if len(ctl.offs) != 0 {
+		t.Fatalf("shutdowns issued under a tight deadline: %v", ctl.offs)
+	}
+
+	// With comfortable slack the dirty-grid idle node is shed
+	// immediately (intensity ≥ DirtyG).
+	c2 := dirtyCarbonController(t, 450)
+	ctl2 := &fakeControl{
+		nodes: []sim.NodeView{
+			onNode("n0", 2, 1, 0),
+			onNode("n1", 2, 0, 1e4),
+		},
+		pendingSlack: slackOf(9999),
+	}
+	c2.Tick(0, ctl2)
+	if len(ctl2.offs) != 1 || ctl2.offs[0] != "n1" {
+		t.Fatalf("comfortable slack must shed the dirty idle node, got %v", ctl2.offs)
+	}
+}
+
+// TestControllerValidateSLA: negative guards are rejected.
+func TestControllerValidateSLA(t *testing.T) {
+	bad := &Controller{IdleTimeout: 60, MinOn: 1, DeadlineSlackSec: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative guard validated (Controller)")
+	}
+	badC := dirtyCarbonController(t, 0)
+	badC.DeadlineSlackSec = -1
+	if err := badC.Validate(); err == nil {
+		t.Error("negative guard validated (CarbonController)")
+	}
+}

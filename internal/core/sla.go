@@ -1,0 +1,91 @@
+package core
+
+// This file holds the SLA-aware extensions of the paper's ranking
+// model: deadline slack (how much margin a server leaves before a
+// task's deadline) and value efficiency (how many dollars a joule
+// spent on this server buys). Package sla supplies the contract
+// semantics; these are the pure per-server numbers.
+
+import "fmt"
+
+// DeadlineSlack returns deadline − now − ComputationTime(ops): the
+// margin (seconds) a task of ops flops would have if placed on the
+// server at time now. Negative slack means the server cannot meet the
+// deadline.
+func (s Server) DeadlineSlack(ops, now, deadline float64) float64 {
+	return deadline - now - s.ComputationTime(ops)
+}
+
+// ValuePerJoule returns the dollars earned per joule spent when a task
+// of ops flops worth value dollars runs on the server — the
+// revenue-efficiency analogue of GreenPerf. Higher is better.
+func (s Server) ValuePerJoule(ops, value float64) float64 {
+	return value / s.EnergyConsumption(ops)
+}
+
+type byDeadlineSlack struct {
+	ops      float64
+	now      float64
+	deadline float64
+}
+
+func (c byDeadlineSlack) Name() string {
+	return fmt.Sprintf("DEADLINESLACK(d=%.0f)", c.deadline)
+}
+
+func (c byDeadlineSlack) Less(a, b Server) bool {
+	sa := a.DeadlineSlack(c.ops, c.now, c.deadline)
+	sb := b.DeadlineSlack(c.ops, c.now, c.deadline)
+	ma, mb := sa >= 0, sb >= 0
+	switch {
+	case ma && !mb:
+		return true
+	case !ma && mb:
+		return false
+	case ma && mb:
+		// Both feasible: stay green among them.
+		return byGreenPerf{}.Less(a, b)
+	default:
+		// Both miss: least-late first.
+		if sa != sb {
+			return sa > sb
+		}
+		return byGreenPerf{}.Less(a, b)
+	}
+}
+
+// ByDeadlineSlack ranks servers for a task of ops flops due at
+// deadline (absolute, decision time now): servers that meet the
+// deadline first — ordered by GreenPerf among themselves, so placement
+// stays energy-efficient *within the feasible set* — then the misses,
+// least-late first.
+func ByDeadlineSlack(ops, now, deadline float64) Criterion {
+	return byDeadlineSlack{ops: ops, now: now, deadline: deadline}
+}
+
+type byValueEfficiency struct {
+	ops   float64
+	value float64
+}
+
+func (c byValueEfficiency) Name() string {
+	return fmt.Sprintf("VALUEEFF($%.2f)", c.value)
+}
+
+func (c byValueEfficiency) Less(a, b Server) bool {
+	va, vb := a.ValuePerJoule(c.ops, c.value), b.ValuePerJoule(c.ops, c.value)
+	if va != vb {
+		return va > vb
+	}
+	if a.Flops != b.Flops {
+		return a.Flops > b.Flops
+	}
+	return a.Name < b.Name
+}
+
+// ByValueEfficiency ranks by dollars per joule, descending — which
+// server converts energy into revenue best for this task. With equal
+// task value everywhere the ordering degrades to minimum energy.
+func ByValueEfficiency(ops, value float64) Criterion {
+	return byValueEfficiency{ops: ops, value: value}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDeadlineSlackAndValuePerJoule(t *testing.T) {
+	s := Server{Name: "n", Flops: 1e9, PowerW: 200, Active: true, WaitSec: 100}
+	// Completion: 100 wait + 100 exec = 200; slack = 500 − 0 − 200.
+	if got := s.DeadlineSlack(1e11, 0, 500); got != 300 {
+		t.Errorf("slack = %v, want 300", got)
+	}
+	// Energy: 200 W × 100 s = 20 kJ; $2 → 1e-4 $/J.
+	if got := s.ValuePerJoule(1e11, 2); got != 2.0/20000 {
+		t.Errorf("value/J = %v", got)
+	}
+	// Boot investment counts for inactive servers.
+	cold := Server{Name: "c", Flops: 1e9, PowerW: 200, BootSec: 50, BootPowerW: 100}
+	if cold.DeadlineSlack(1e11, 0, 500) != 500-150 {
+		t.Errorf("cold slack = %v", cold.DeadlineSlack(1e11, 0, 500))
+	}
+	if cold.ValuePerJoule(1e11, 2) >= s.ValuePerJoule(1e11, 2) {
+		t.Error("boot energy must reduce value efficiency")
+	}
+}
+
+func TestByDeadlineSlackFeasibleFirst(t *testing.T) {
+	fast := Server{Name: "fast", Flops: 1e9, PowerW: 400, Active: true}               // meets: 100 s
+	lean := Server{Name: "lean", Flops: 1e9, PowerW: 100, Active: true, WaitSec: 900} // misses: 1000 s
+	slow := Server{Name: "slow", Flops: 1e8, PowerW: 100, Active: true}               // misses: 1000 s exec
+
+	c := ByDeadlineSlack(1e11, 0, 500)
+	ranked := Rank([]Server{slow, lean, fast}, c)
+	if ranked[0].Name != "fast" {
+		t.Fatalf("feasible server must rank first, got %v", ranked[0].Name)
+	}
+	// The two misses order least-late first: lean misses by 500, slow
+	// by 500 — equal, so GreenPerf breaks the tie (lean wins).
+	if ranked[1].Name != "lean" || ranked[2].Name != "slow" {
+		t.Fatalf("miss ordering wrong: %v, %v", ranked[1].Name, ranked[2].Name)
+	}
+
+	// Both feasible: GreenPerf decides.
+	loose := ByDeadlineSlack(1e11, 0, 1e6)
+	ranked = Rank([]Server{fast, lean}, loose)
+	if ranked[0].Name != "lean" {
+		t.Error("feasible set must stay green-ordered")
+	}
+	if c.Name() == "" {
+		t.Error("criterion must name itself")
+	}
+}
+
+func TestByValueEfficiency(t *testing.T) {
+	lean := Server{Name: "lean", Flops: 1e9, PowerW: 100, Active: true}
+	hungry := Server{Name: "hungry", Flops: 1e9, PowerW: 400, Active: true}
+	c := ByValueEfficiency(1e11, 2)
+	ranked := Rank([]Server{hungry, lean}, c)
+	if ranked[0].Name != "lean" {
+		t.Errorf("dollars per joule must favour the lean server, got %v", ranked[0].Name)
+	}
+	if c.Name() == "" {
+		t.Error("criterion must name itself")
+	}
+}

@@ -134,6 +134,12 @@ type CarbonRun struct {
 	MeanWait  float64
 	Boots     int
 	Shutdowns int
+
+	// JoulesPerTask and GramsPerTask divide the run's totals across
+	// completed tasks — the per-request attribution of the ROADMAP
+	// follow-on.
+	JoulesPerTask float64
+	GramsPerTask  float64
 }
 
 // CarbonResult bundles the compared configurations.
@@ -235,13 +241,15 @@ func RunCarbonStudy(cfg CarbonConfig) (*CarbonResult, error) {
 			return nil, fmt.Errorf("experiments: carbon %s: %w", c.name, err)
 		}
 		out.Runs = append(out.Runs, CarbonRun{
-			Name:      c.name,
-			EnergyJ:   res.EnergyJ,
-			CO2Grams:  res.CO2Grams,
-			Makespan:  res.Makespan,
-			MeanWait:  res.MeanWait(),
-			Boots:     res.Boots,
-			Shutdowns: res.Shutdowns,
+			Name:          c.name,
+			EnergyJ:       res.EnergyJ,
+			CO2Grams:      res.CO2Grams,
+			Makespan:      res.Makespan,
+			MeanWait:      res.MeanWait(),
+			Boots:         res.Boots,
+			Shutdowns:     res.Shutdowns,
+			JoulesPerTask: res.JoulesPerTask(),
+			GramsPerTask:  res.GramsPerTask(),
 		})
 		if c.name == CarbonRunAware {
 			for clusterName, g := range res.PerClusterCO2 {
@@ -293,6 +301,9 @@ func (r *CarbonResult) Render(w io.Writer) error {
 			fmt.Fprintf(w, "  %s %.0f g", site, r.PerSiteCO2[site])
 		}
 		fmt.Fprintln(w)
+	}
+	for _, run := range r.Runs {
+		fmt.Fprintf(w, "%s per task: %s\n", run.Name, report.PerTask(run.JoulesPerTask, run.GramsPerTask))
 	}
 	return nil
 }

@@ -34,6 +34,12 @@ type Record struct {
 	// records stay valid.
 	Carbon float64 `xml:"carbon_intensity,omitempty"`
 
+	// DemandFlops is the forecast admitted demand in sustained flop/s
+	// at the record's timestamp (0 = not reported). SLA headroom rules
+	// translate it into a capacity floor so admission guarantees
+	// survive cost- and carbon-driven pool shrinks.
+	DemandFlops float64 `xml:"demand_flops,omitempty"`
+
 	// Unexpected marks measurements that only become visible when
 	// they occur (the §IV-C heat events), as opposed to scheduled
 	// events (energy-price changes) the planner may anticipate

@@ -103,7 +103,7 @@ func (p *Planner) Check(now float64, store *Store) Decision {
 		if rec.Unexpected {
 			continue // §IV-C: unexpected events are not forecastable
 		}
-		futureTarget := p.Rules.Quota(Status{Temperature: rec.Temperature, Cost: rec.Cost, Carbon: rec.Carbon}, p.TotalNodes, p.MinNodes)
+		futureTarget := p.Rules.Quota(statusOf(rec), p.TotalNodes, p.MinNodes)
 		if futureTarget <= p.current || futureTarget <= targetNow {
 			continue
 		}
@@ -160,7 +160,12 @@ func (p *Planner) statusAt(store *Store, t int64) Status {
 	if !ok {
 		return Status{Temperature: 20, Cost: 1.0}
 	}
-	return Status{Temperature: rec.Temperature, Cost: rec.Cost, Carbon: rec.Carbon}
+	return statusOf(rec)
+}
+
+// statusOf projects a plan record onto the rule inputs.
+func statusOf(rec Record) Status {
+	return Status{Temperature: rec.Temperature, Cost: rec.Cost, Carbon: rec.Carbon, DemandFlops: rec.DemandFlops}
 }
 
 func ceilDiv(a, b int) int {

@@ -12,6 +12,9 @@ type Status struct {
 	Temperature float64 // °C
 	Cost        float64 // electricity cost ratio in [0,1]
 	Carbon      float64 // grid carbon intensity in gCO2/kWh (0 = unknown)
+	// DemandFlops is the forecast admitted demand in flop/s (0 =
+	// unknown); SLA headroom rules size the pool to cover it.
+	DemandFlops float64
 }
 
 // Rule maps a platform status to a candidate-node fraction. Rules are
@@ -22,6 +25,10 @@ type Rule struct {
 	Name     string
 	Matches  func(Status) bool
 	Fraction float64 // fraction of all nodes made candidates
+	// Nodes, when set, computes the quota directly from the status
+	// (overriding Fraction) — the hook demand-proportional rules use.
+	// The result is still clamped to [minNodes, totalNodes].
+	Nodes func(st Status, totalNodes, minNodes int) int
 }
 
 // Rules is an ordered rule set.
@@ -32,11 +39,25 @@ type Rules []Rule
 // (fail-open keeps the platform usable under unanticipated statuses).
 func (rs Rules) Quota(st Status, totalNodes, minNodes int) int {
 	for _, r := range rs {
-		if r.Matches(st) {
-			return core.CandidateQuota(totalNodes, r.Fraction, minNodes)
+		if !r.Matches(st) {
+			continue
 		}
+		if r.Nodes != nil {
+			return clampNodes(r.Nodes(st, totalNodes, minNodes), totalNodes, minNodes)
+		}
+		return core.CandidateQuota(totalNodes, r.Fraction, minNodes)
 	}
 	return totalNodes
+}
+
+func clampNodes(n, totalNodes, minNodes int) int {
+	if n < minNodes {
+		n = minNodes
+	}
+	if n > totalNodes {
+		n = totalNodes
+	}
+	return n
 }
 
 // Match returns the first matching rule's name, or "" when none match.
@@ -55,6 +76,9 @@ func (rs Rules) Validate() error {
 	for i, r := range rs {
 		if r.Matches == nil {
 			return fmt.Errorf("provision: rule %d (%s) has no predicate", i, r.Name)
+		}
+		if r.Nodes != nil {
+			continue // quota computed directly; Fraction unused
 		}
 		if r.Fraction <= 0 || r.Fraction > 1 {
 			return fmt.Errorf("provision: rule %d (%s) has fraction %v outside (0,1]", i, r.Name, r.Fraction)

@@ -1,0 +1,55 @@
+package provision
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the SLA-aware headroom rules: the §IV-C
+// administrator behaviours shrink the candidate pool when electricity
+// is dear or the grid is dirty, but a pool sized by price alone can
+// fall below what admitted deadlines need. SLAHeadroomRules inserts a
+// demand-proportional capacity floor between the thermal rule (which
+// keeps absolute priority — hardware safety trumps revenue) and the
+// economic rules, so the planner's lookahead pre-ramps capacity into
+// forecast demand peaks exactly as it pre-ramps into cheap-energy
+// windows.
+
+// SLAHeadroomRules returns base with a demand floor spliced in after
+// any leading "heat" rule: records reporting DemandFlops > 0 resolve
+// to at least
+//
+//	ceil(Headroom × DemandFlops / nodeFlops)
+//
+// candidates — never fewer than the economic rules would grant, so the
+// floor only ever *adds* capacity. nodeFlops is the sustained flop/s
+// of one candidate node (use the platform's slowest node to keep the
+// guarantee conservative); Headroom ≥ 1 reserves margin for queueing
+// and estimation error. Records without a demand forecast fall through
+// to base unchanged.
+func SLAHeadroomRules(nodeFlops, headroom float64, base Rules) (Rules, error) {
+	if nodeFlops <= 0 {
+		return nil, fmt.Errorf("provision: headroom rule needs positive per-node flops, got %v", nodeFlops)
+	}
+	if headroom < 1 {
+		return nil, fmt.Errorf("provision: headroom factor %v must be at least 1", headroom)
+	}
+	rest := base
+	var out Rules
+	if len(base) > 0 && base[0].Name == "heat" {
+		out = append(out, base[0]) // thermal safety keeps priority
+		rest = base[1:]
+	}
+	out = append(out, Rule{
+		Name:    "sla-headroom",
+		Matches: func(s Status) bool { return s.DemandFlops > 0 },
+		Nodes: func(s Status, totalNodes, minNodes int) int {
+			need := int(math.Ceil(headroom * s.DemandFlops / nodeFlops))
+			if economic := rest.Quota(s, totalNodes, minNodes); economic > need {
+				need = economic
+			}
+			return need
+		},
+	})
+	return append(out, rest...), nil
+}

@@ -1,0 +1,162 @@
+package provision
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSLAHeadroomRulesFloor: a demand forecast raises the quota above
+// what the economic rules grant, never below.
+func TestSLAHeadroomRulesFloor(t *testing.T) {
+	// 10 nodes of 1e11 flop/s; margin 1.2.
+	rules, err := SLAHeadroomRules(1e11, 1.2, DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rules.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Regular cost grants 40% = 4 nodes; demand needs
+	// ceil(1.2 × 5e11 / 1e11) = 6 → demand wins.
+	st := Status{Temperature: 20, Cost: 0.9, DemandFlops: 5e11}
+	if got := rules.Quota(st, 10, 1); got != 6 {
+		t.Errorf("quota = %d, want 6 (demand floor)", got)
+	}
+
+	// Cheap energy grants 100%; tiny demand must not shrink it.
+	st = Status{Temperature: 20, Cost: 0.2, DemandFlops: 1e11}
+	if got := rules.Quota(st, 10, 1); got != 10 {
+		t.Errorf("quota = %d, want 10 (economic rules win)", got)
+	}
+
+	// No demand reported: classic behaviour.
+	st = Status{Temperature: 20, Cost: 0.9}
+	if got := rules.Quota(st, 10, 1); got != 4 {
+		t.Errorf("quota = %d, want 4", got)
+	}
+
+	// Thermal safety keeps absolute priority over demand.
+	st = Status{Temperature: 30, Cost: 0.9, DemandFlops: 9e11}
+	if got := rules.Quota(st, 10, 1); got != 2 {
+		t.Errorf("quota = %d, want 2 (heat rule)", got)
+	}
+
+	// Demand beyond the platform clamps to every node.
+	st = Status{Temperature: 20, Cost: 0.9, DemandFlops: 9e12}
+	if got := rules.Quota(st, 10, 1); got != 10 {
+		t.Errorf("quota = %d, want 10 (clamped)", got)
+	}
+}
+
+func TestSLAHeadroomRulesValidate(t *testing.T) {
+	if _, err := SLAHeadroomRules(0, 1.2, DefaultRules()); err == nil {
+		t.Error("zero node flops accepted")
+	}
+	if _, err := SLAHeadroomRules(1e11, 0.5, DefaultRules()); err == nil {
+		t.Error("headroom below 1 accepted")
+	}
+}
+
+// TestSLAHeadroomComposesWithCarbonRules: demand floors splice into
+// the carbon rule set the same way.
+func TestSLAHeadroomComposesWithCarbonRules(t *testing.T) {
+	rules, err := SLAHeadroomRules(1e11, 1.0, CarbonRules(150, 450))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty grid grants 30% = 3; demand needs 7.
+	st := Status{Temperature: 20, Carbon: 500, DemandFlops: 7e11}
+	if got := rules.Quota(st, 10, 1); got != 7 {
+		t.Errorf("quota = %d, want 7", got)
+	}
+	// Dirty grid, no demand: carbon band rules.
+	st = Status{Temperature: 20, Carbon: 500}
+	if got := rules.Quota(st, 10, 1); got != 3 {
+		t.Errorf("quota = %d, want 3", got)
+	}
+}
+
+// TestPlannerPreRampsIntoForecastDemand: a scheduled demand spike
+// inside the lookahead horizon ramps the pool up ahead of time — the
+// admission guarantee arrives provisioned, not surprised.
+func TestPlannerPreRampsIntoForecastDemand(t *testing.T) {
+	rules, err := SLAHeadroomRules(1e11, 1.0, DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlanner(10, 4)
+	p.Rules = rules
+	p.StepUp = 2
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	store := NewStore()
+	// Regular cost now; a forecast demand spike needing 8 nodes at
+	// t=1200 (two check periods ahead).
+	store.Put(Record{Value: 0, Temperature: 20, Cost: 0.9})
+	store.Put(Record{Value: 1200, Temperature: 20, Cost: 0.9, DemandFlops: 8e11})
+
+	// t=0: the spike is visible (TargetNext) but the ramp is timed to
+	// arrive exactly at the event: 2 steps of 2 starting at t=600.
+	d := p.Check(0, store)
+	if d.TargetNext != 8 {
+		t.Fatalf("lookahead target %d, want 8", d.TargetNext)
+	}
+	if d.Pool != 4 {
+		t.Fatalf("pool at t=0 = %d, want 4 (ramp not due yet)", d.Pool)
+	}
+	d = p.Check(600, store)
+	if d.Pool != 6 {
+		t.Fatalf("pool after first ramp step = %d, want 6", d.Pool)
+	}
+	d = p.Check(1200, store)
+	if d.Pool != 8 {
+		t.Fatalf("pool at spike start = %d, want 8", d.Pool)
+	}
+}
+
+// TestRecordDemandXMLRoundTrip: the demand column survives the
+// Figure 8 plan schema.
+func TestRecordDemandXMLRoundTrip(t *testing.T) {
+	plan := &Plan{Records: []Record{
+		{Value: 10, Temperature: 21, Candidates: 4, Cost: 0.6, DemandFlops: 3.5e11},
+		{Value: 20, Temperature: 21, Candidates: 4, Cost: 0.6},
+	}}
+	data, err := plan.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "demand_flops") {
+		t.Fatalf("demand not serialized:\n%s", data)
+	}
+	// Records without demand omit the element.
+	if strings.Count(string(data), "demand_flops") != 2 { // open+close tags once
+		t.Fatalf("demand element count wrong:\n%s", data)
+	}
+	back, err := ParsePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Records[0].DemandFlops != 3.5e11 || back.Records[1].DemandFlops != 0 {
+		t.Fatalf("round trip: %+v", back.Records)
+	}
+}
+
+// TestRuleNodesValidate: a rule computing its quota directly needs no
+// fraction, but a predicate is still mandatory.
+func TestRuleNodesValidate(t *testing.T) {
+	ok := Rules{{
+		Name:    "direct",
+		Matches: func(Status) bool { return true },
+		Nodes:   func(_ Status, total, _ int) int { return total },
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("direct-quota rule rejected: %v", err)
+	}
+	bad := Rules{{Name: "no-predicate", Nodes: func(_ Status, total, _ int) int { return total }}}
+	if err := bad.Validate(); err == nil {
+		t.Error("rule without predicate validated")
+	}
+}

@@ -10,6 +10,13 @@ import (
 	"strings"
 )
 
+// PerTask renders the per-completed-task cost pair — joules next to
+// grams — that experiment harnesses print under their tables (the
+// per-request carbon attribution of the ROADMAP follow-on).
+func PerTask(joules, grams float64) string {
+	return fmt.Sprintf("%.0f J/task, %.2f gCO2/task", joules, grams)
+}
+
 // Table is a simple aligned-column text table.
 type Table struct {
 	Title   string

@@ -49,6 +49,11 @@ const (
 	// On a single-site platform it coincides with GREENPERF; across
 	// sites it shifts work toward cleaner grids.
 	Carbon Kind = "CARBON"
+	// Renewable ranks by the grid's renewable supply fraction
+	// (TagRenewableFrac, descending): work follows the wind and sun
+	// regardless of absolute intensity. Unmetered servers rank last,
+	// mirroring the CARBON fail-safe.
+	Renewable Kind = "RENEWABLE"
 )
 
 // Kinds lists the bundled comparison policies in the order the paper's
@@ -71,6 +76,8 @@ func New(k Kind) Policy {
 		return leastLoadedPolicy{}
 	case Carbon:
 		return carbonPolicy{}
+	case Renewable:
+		return renewablePolicy{}
 	default:
 		panic(fmt.Sprintf("sched: unknown policy kind %q", k))
 	}
@@ -154,6 +161,22 @@ func (carbonPolicy) Less(a, b *estvec.Vector) bool {
 			estvec.ByTagDesc(estvec.TagFlops, estvec.ByServerName))
 		return less(a, b)
 	}
+}
+
+// renewablePolicy ranks by the renewable supply fraction of each
+// SED's grid, descending: the greenest electrons first, whatever the
+// absolute intensity. Servers whose vectors omit TagRenewableFrac
+// (unmetered sites) rank after every metered one — the same fail-safe
+// the CARBON policy applies — and ties fall through to GreenPerf so
+// same-grid servers still order by efficiency.
+type renewablePolicy struct{}
+
+func (renewablePolicy) Name() string { return string(Renewable) }
+func (renewablePolicy) Less(a, b *estvec.Vector) bool {
+	less := estvec.ByTagDesc(estvec.TagRenewableFrac,
+		estvec.ByTagAsc(estvec.TagGreenPerf,
+			estvec.ByTagDesc(estvec.TagFlops, estvec.ByServerName)))
+	return less(a, b)
 }
 
 func carbonRate(v *estvec.Vector) (float64, bool) {

@@ -5,6 +5,7 @@ import (
 
 	"greensched/internal/power"
 	"greensched/internal/simtime"
+	"greensched/internal/workload"
 )
 
 // This file is the simulator's generic control-plane hook: an external
@@ -53,6 +54,13 @@ type Control interface {
 	// Config.RetryEvery seconds) — the primitive behind shifting
 	// deferrable work into low-carbon windows.
 	SetCandidate(name string, candidate bool) error
+	// PendingSlack returns the tightest deadline margin across tasks
+	// that have not started yet (unplaced arrivals and queued work):
+	// min over them of deadline − now − best-case execution time. ok
+	// is false when no pending task carries a deadline. Controllers
+	// that defer work or shut capacity down must keep this positive —
+	// a deferral past it provably breaks an admitted task's SLA.
+	PendingSlack() (slack float64, ok bool)
 }
 
 // runnerControl implements Control against a Runner at a fixed tick
@@ -83,6 +91,33 @@ func (c *runnerControl) Nodes() []NodeView {
 }
 
 func (c *runnerControl) Unplaced() int { return c.r.unplaced }
+
+func (c *runnerControl) PendingSlack() (float64, bool) {
+	best, ok := 0.0, false
+	consider := func(t workload.Task, execSec float64) {
+		view := c.r.taskView(t)
+		if view.Deadline <= 0 {
+			return
+		}
+		slack := view.Deadline - c.now - execSec
+		if !ok || slack < best {
+			best, ok = slack, true
+		}
+	}
+	// Unplaced tasks can still land anywhere: best case is the
+	// platform's fastest node.
+	for _, t := range c.r.waiting {
+		consider(t, c.r.bestExec(t.Ops))
+	}
+	// Queued tasks cannot migrate (the SED keeps its problem, §III-A
+	// step 5): their bound is the owning node's own execution time.
+	for _, sed := range c.r.seds {
+		for _, p := range sed.queue {
+			consider(p.task, sed.node.Spec.TaskSeconds(p.task.Ops))
+		}
+	}
+	return best, ok
+}
 
 func (c *runnerControl) PowerOff(name string) error {
 	sed := c.r.sedByName(name)
@@ -171,7 +206,7 @@ func (r *Runner) sedByName(name string) *sedState {
 // once every task has completed so the event queue can drain.
 func (r *Runner) scheduleControl(every float64) {
 	r.eng.After(every, "control", func(t simtime.Time) {
-		if r.res.Completed >= len(r.cfg.Tasks) {
+		if r.resolved() >= len(r.cfg.Tasks) {
 			return
 		}
 		r.cfg.OnControl(t.Seconds(), &runnerControl{r: r, now: t.Seconds()})

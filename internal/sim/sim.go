@@ -21,6 +21,7 @@ import (
 	"greensched/internal/power"
 	"greensched/internal/sched"
 	"greensched/internal/simtime"
+	"greensched/internal/sla"
 	"greensched/internal/workload"
 )
 
@@ -104,6 +105,20 @@ type Config struct {
 	// Controllers that defer work for hours (carbon windows) should
 	// raise it so the retry traffic stays proportionate.
 	RetryEvery float64
+
+	// SLA, when set, turns on service-level awareness: task classes
+	// resolve to deadlines/values/penalty curves, admission control
+	// screens first submissions (rejected tasks never run and forfeit
+	// their value), SED queues drain under the configured discipline
+	// (EDF, VALUE-DENSITY) instead of FIFO, and Result carries the
+	// revenue/penalty ledger plus per-task slack.
+	SLA *sla.Config
+
+	// PolicyFunc, when set, builds the election policy per arriving
+	// task — the hook SLA-aware runs use to wrap Policy with
+	// sched.DeadlineAware or SLAWeightedPolicy for the task's own
+	// deadline. Config.Policy still names the run and serves retries.
+	PolicyFunc func(now float64, t workload.Task) sched.Policy
 }
 
 func (c *Config) defaults() error {
@@ -141,6 +156,22 @@ type TaskRecord struct {
 	MeanPowerW float64
 	// Resubmits counts crash-induced re-executions.
 	Resubmits int
+
+	// Deadline is the task's effective absolute deadline (class
+	// defaults resolved; 0 = none) and Class its SLA class.
+	Deadline float64
+	Class    string
+	// EarnedUSD is the value credited through the penalty curve
+	// (negative = contractual penalty); zero without Config.SLA.
+	EarnedUSD float64
+	// EnergyShareJ is the task's share of its node's measured energy
+	// over the execution window: mean node draw × duration ÷ mean
+	// co-running task count, so concurrent tasks split the node's
+	// joules instead of each being charged all of them.
+	EnergyShareJ float64
+	// CO2Grams integrates EnergyShareJ through the site's intensity
+	// signal over the execution window; zero without Config.Carbon.
+	CO2Grams float64
 }
 
 // Wait returns queueing delay (start − submit).
@@ -148,6 +179,24 @@ func (r TaskRecord) Wait() float64 { return r.Start - r.Submit }
 
 // Exec returns execution time (finish − start).
 func (r TaskRecord) Exec() float64 { return r.Finish - r.Start }
+
+// Slack returns deadline − finish (negative = miss); ok is false for
+// best-effort tasks.
+func (r TaskRecord) Slack() (float64, bool) {
+	if r.Deadline <= 0 {
+		return 0, false
+	}
+	return r.Deadline - r.Finish, true
+}
+
+// Rejection is one admission-control refusal: the task never ran and
+// its full value was forfeited.
+type Rejection struct {
+	ID       int
+	Class    string
+	ValueUSD float64
+	At       float64 // submission (decision) time
+}
 
 // Point is one sample of the platform power series.
 type Point struct {
@@ -183,6 +232,33 @@ type Result struct {
 	// (zero unless Config.OnControl is set).
 	Boots     int
 	Shutdowns int
+
+	// DeadlineMisses counts completions past their effective deadline;
+	// Rejected counts admission refusals (each listed in Rejections).
+	DeadlineMisses int
+	Rejected       int
+	Rejections     []Rejection
+
+	// SLA is the revenue/penalty ledger summary; nil without
+	// Config.SLA.
+	SLA *sla.Summary
+}
+
+// JoulesPerTask returns whole-platform energy per completed task.
+func (r *Result) JoulesPerTask() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.EnergyJ) / float64(r.Completed)
+}
+
+// GramsPerTask returns whole-platform CO2 per completed task — the
+// per-request carbon attribution next to JoulesPerTask.
+func (r *Result) GramsPerTask() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return r.CO2Grams / float64(r.Completed)
 }
 
 // MeanWait returns the average queueing delay across completed tasks.
@@ -226,6 +302,19 @@ type sedState struct {
 	// controller hook reads it to apply idle timeouts. Meaningful only
 	// while running and queue are empty.
 	idleAt float64
+
+	// busyAt / busyIntegral track busy-core-seconds exactly (advanced
+	// on every task start and finish); per-task energy attribution
+	// divides the node's measured draw by the mean concurrency over
+	// each task's window.
+	busyAt       float64
+	busyIntegral float64
+}
+
+// advanceBusy accrues busy-core-seconds up to now.
+func (s *sedState) advanceBusy(now float64) {
+	s.busyIntegral += float64(len(s.running)) * (now - s.busyAt)
+	s.busyAt = now
 }
 
 type pendingTask struct {
@@ -241,6 +330,10 @@ type runningTask struct {
 	start     float64
 	finish    *simtime.Event
 	resubmits int
+	// busyMark is the SED's busy-core-seconds at task start; the
+	// difference at finish divided by the duration is the mean
+	// concurrency the energy attribution splits by.
+	busyMark float64
 }
 
 func (s *sedState) freeSlots() int {
@@ -291,6 +384,14 @@ func (s *sedState) waitEstimate(now float64) float64 {
 // tags (§III-A: "These metrics are incorporated into DIET SED to
 // populate its estimation vector using new tags").
 func (s *sedState) vector(now float64, rng *rand.Rand) *estvec.Vector {
+	return s.vectorFor(now, rng, false)
+}
+
+// vectorFor is vector with an optional candidacy bypass: SLA express
+// traffic (sla.Config.UrgentBypass) may elect any *powered-on* node
+// even while a controller has revoked its candidacy to defer
+// deferrable work. Powered-off nodes stay unusable either way.
+func (s *sedState) vectorFor(now float64, rng *rand.Rand, bypassCandidacy bool) *estvec.Vector {
 	v := estvec.New(s.node.Spec.Name).
 		Set(estvec.TagFreeCores, float64(s.freeSlots())).
 		Set(sched.TagCores(), float64(s.slots)).
@@ -298,7 +399,7 @@ func (s *sedState) vector(now float64, rng *rand.Rand) *estvec.Vector {
 		Set(estvec.TagWaitSec, s.waitEstimate(now)).
 		Set(estvec.TagBootSec, s.node.Spec.BootSec).
 		Set(estvec.TagBootPowerW, s.node.Spec.BootW).
-		SetBool(estvec.TagActive, s.candidate && s.node.State() == power.On).
+		SetBool(estvec.TagActive, (s.candidate || bypassCandidacy) && s.node.State() == power.On).
 		Set(estvec.TagRandom, rng.Float64())
 
 	if s.site != nil {
@@ -340,7 +441,19 @@ type Runner struct {
 
 	lastFinish float64
 	unplaced   int // submitted tasks no server could accept yet
+	// waiting holds the unplaced tasks themselves (keyed by ID) so
+	// controllers can see the most urgent pending deadline.
+	waiting map[int]workload.Task
+
+	// SLA state: resolved terms per task ID, the revenue ledger, and
+	// the queue discipline (nil = FIFO).
+	terms  map[int]sla.Terms
+	ledger *sla.Ledger
+	order  sched.TaskOrder
 }
+
+// resolved counts tasks whose fate is settled (completed or rejected).
+func (r *Runner) resolved() int { return r.res.Completed + r.res.Rejected }
 
 // NewRunner validates the config and builds the initial state.
 func NewRunner(cfg Config) (*Runner, error) {
@@ -353,9 +466,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 		}
 	}
 	r := &Runner{
-		cfg: cfg,
-		eng: simtime.NewEngine(),
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		eng:     simtime.NewEngine(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		waiting: make(map[int]workload.Task),
 		res: &Result{
 			Policy:           cfg.Policy.Name(),
 			PerNodeTasks:     make(map[string]int),
@@ -365,6 +479,18 @@ func NewRunner(cfg Config) (*Runner, error) {
 			PerNodeCO2G:      make(map[string]float64),
 			PerClusterCO2:    make(map[string]float64),
 		},
+	}
+	if cfg.SLA != nil {
+		if err := cfg.SLA.Validate(); err != nil {
+			return nil, err
+		}
+		catalog := cfg.SLA.EffectiveCatalog()
+		r.terms = make(map[int]sla.Terms, len(cfg.Tasks))
+		for _, t := range cfg.Tasks {
+			r.terms[t.ID] = catalog.Resolve(t)
+		}
+		r.ledger = sla.NewLedger()
+		r.order = cfg.SLA.Order
 	}
 	r.sel = &sched.Selector{Policy: cfg.Policy, QueueFactor: cfg.QueueFactor, Explore: cfg.Explore, RankAll: cfg.RankAll}
 	for i, spec := range cfg.Platform.Nodes {
@@ -444,19 +570,41 @@ func (r *Runner) Run() (*Result, error) {
 	if _, err := r.eng.Run(budget); err != nil {
 		return nil, err
 	}
-	if r.res.Completed != len(r.cfg.Tasks) {
-		return nil, fmt.Errorf("sim: only %d of %d tasks completed (stuck queue?)", r.res.Completed, len(r.cfg.Tasks))
+	if r.resolved() != len(r.cfg.Tasks) {
+		return nil, fmt.Errorf("sim: only %d of %d tasks resolved (stuck queue?)", r.resolved(), len(r.cfg.Tasks))
 	}
 	r.finalize()
 	return r.res, nil
 }
 
 func (r *Runner) onArrival(now float64, p pendingTask) {
+	// Admission screen: first submissions only — crash resubmissions
+	// and retries were already admitted.
+	if r.cfg.SLA != nil && r.cfg.SLA.Admission != nil && !p.waiting && p.resubmits == 0 {
+		terms := r.terms[p.task.ID]
+		if r.cfg.SLA.Admission.Decide(now, r.bestExec(p.task.Ops), terms) == sla.Reject {
+			r.ledger.Reject(terms)
+			r.res.Rejected++
+			r.res.Rejections = append(r.res.Rejections, Rejection{
+				ID: p.task.ID, Class: terms.Class, ValueUSD: terms.ValueUSD, At: now,
+			})
+			return
+		}
+	}
+	// SLA express lane: deadline-carrying tasks may bypass candidacy
+	// windows (controllers defer only deferrable work through them).
+	bypass := r.cfg.SLA != nil && r.cfg.SLA.UrgentBypass && r.taskView(p.task).Deadline > 0
 	list := make(estvec.List, 0, len(r.seds))
 	for _, sed := range r.seds {
-		list = append(list, sed.vector(now, r.rng))
+		list = append(list, sed.vectorFor(now, r.rng, bypass))
 	}
-	chosen, err := r.sel.Select(list)
+	sel := r.sel
+	if r.cfg.PolicyFunc != nil {
+		perTask := *r.sel
+		perTask.Policy = r.cfg.PolicyFunc(now, p.task)
+		sel = &perTask
+	}
+	chosen, err := sel.Select(list)
 	if err != nil {
 		// No candidate can take the request (all powered off):
 		// retry shortly — a controller (or the adaptive experiment)
@@ -465,6 +613,7 @@ func (r *Runner) onArrival(now float64, p pendingTask) {
 		if !p.waiting {
 			p.waiting = true
 			r.unplaced++
+			r.waiting[p.task.ID] = p.task
 		}
 		r.eng.After(r.cfg.RetryEvery, "retry", func(t2 simtime.Time) { r.onArrival(t2.Seconds(), p) })
 		return
@@ -472,6 +621,7 @@ func (r *Runner) onArrival(now float64, p pendingTask) {
 	if p.waiting {
 		p.waiting = false
 		r.unplaced--
+		delete(r.waiting, p.task.ID)
 	}
 	sed := r.seds[r.cfg.Platform.Find(chosen.Server)]
 	if sed.freeSlots() > 0 {
@@ -479,6 +629,20 @@ func (r *Runner) onArrival(now float64, p pendingTask) {
 	} else {
 		sed.queue = append(sed.queue, p)
 	}
+}
+
+// bestExec returns the platform's best-case execution time for a task
+// — the fastest node, a free core, no queue. Admission control uses
+// it as the "provably cannot serve" bound.
+func (r *Runner) bestExec(ops float64) float64 {
+	best := 0.0
+	for i, sed := range r.seds {
+		e := sed.node.Spec.TaskSeconds(ops)
+		if i == 0 || e < best {
+			best = e
+		}
+	}
+	return best
 }
 
 func (r *Runner) startTask(now float64, sed *sedState, p pendingTask) {
@@ -493,7 +657,8 @@ func (r *Runner) startTask(now float64, sed *sedState, p pendingTask) {
 	if j := r.cfg.ExecJitter; j > 0 {
 		exec *= 1 + (r.rng.Float64()*2-1)*j
 	}
-	rt := &runningTask{task: p.task, start: now, resubmits: p.resubmits}
+	sed.advanceBusy(now)
+	rt := &runningTask{task: p.task, start: now, resubmits: p.resubmits, busyMark: sed.busyIntegral}
 	rt.finish = r.eng.After(exec, "finish", func(t simtime.Time) {
 		r.onFinish(t.Seconds(), sed, rt)
 	})
@@ -501,6 +666,7 @@ func (r *Runner) startTask(now float64, sed *sedState, p pendingTask) {
 }
 
 func (r *Runner) onFinish(now float64, sed *sedState, rt *runningTask) {
+	sed.advanceBusy(now)
 	delete(sed.running, rt.task.ID)
 	duringW := sed.node.Power() // draw while the task was still running
 	if err := sed.node.FinishTask(now); err != nil {
@@ -525,6 +691,30 @@ func (r *Runner) onFinish(now float64, sed *sedState, rt *runningTask) {
 		Finish:     now,
 		MeanPowerW: meanW,
 		Resubmits:  rt.resubmits,
+		Deadline:   rt.task.Deadline,
+		Class:      rt.task.Class,
+	}
+	if r.cfg.SLA != nil {
+		terms := r.terms[rt.task.ID]
+		rec.Deadline = terms.Deadline
+		rec.EarnedUSD = terms.EarnedUSD(now)
+		r.ledger.Complete(terms, now)
+	}
+	if rec.Deadline > 0 && now > rec.Deadline {
+		r.res.DeadlineMisses++
+	}
+	// Per-task energy share: the node's measured draw over the window,
+	// split across the mean number of co-running tasks so concurrent
+	// tasks divide the node's joules instead of each claiming all.
+	meanBusy := (sed.busyIntegral - rt.busyMark) / exec
+	if meanBusy < 1 {
+		meanBusy = 1
+	}
+	rec.EnergyShareJ = meanW * exec / meanBusy
+	if sed.site != nil {
+		// Carbon attribution: the energy share integrated against the
+		// site's intensity over the execution window.
+		rec.CO2Grams = carbon.Grams(*sed.site, rec.EnergyShareJ, rt.start, now)
 	}
 	r.res.Records = append(r.res.Records, rec)
 	r.res.Completed++
@@ -544,14 +734,36 @@ func (r *Runner) onFinish(now float64, sed *sedState, rt *runningTask) {
 
 func (r *Runner) drainQueue(now float64, sed *sedState) {
 	for len(sed.queue) > 0 && sed.freeSlots() > 0 {
-		p := sed.queue[0]
-		sed.queue = sed.queue[1:]
+		next := 0
+		if r.order != nil {
+			// SLA queue discipline: pop the best task per the
+			// configured order (EDF, VALUE-DENSITY) instead of FIFO.
+			for i := 1; i < len(sed.queue); i++ {
+				if r.order.Less(r.taskView(sed.queue[i].task), r.taskView(sed.queue[next].task)) {
+					next = i
+				}
+			}
+		}
+		p := sed.queue[next]
+		sed.queue = append(sed.queue[:next], sed.queue[next+1:]...)
 		r.startTask(now, sed, p)
 	}
 }
 
+// taskView projects a task into the slice queue disciplines rank on,
+// with class defaults resolved when SLA is configured.
+func (r *Runner) taskView(t workload.Task) sched.TaskView {
+	v := sched.TaskView{ID: t.ID, Ops: t.Ops, Submit: t.Submit, Deadline: t.Deadline, Value: t.Value}
+	if terms, ok := r.terms[t.ID]; ok {
+		v.Deadline = terms.Deadline
+		v.Value = terms.ValueUSD
+	}
+	return v
+}
+
 func (r *Runner) onCrash(now float64, sed *sedState) {
 	// Collect and cancel in-flight work, then fail the node.
+	sed.advanceBusy(now)
 	var lost []pendingTask
 	for id, rt := range sed.running {
 		r.eng.Cancel(rt.finish)
@@ -581,7 +793,7 @@ func (r *Runner) scheduleSample(period float64) {
 		}
 		r.res.Series = append(r.res.Series, Point{T: now.Seconds(), W: total})
 		// Keep sampling while work remains.
-		if r.res.Completed < len(r.cfg.Tasks) {
+		if r.resolved() < len(r.cfg.Tasks) {
 			r.scheduleSample(period)
 		}
 	})
@@ -609,5 +821,9 @@ func (r *Runner) finalize() {
 			r.res.PerClusterCO2[sed.node.Spec.Cluster] += g
 			r.res.CO2Grams += g
 		}
+	}
+	if r.ledger != nil {
+		s := r.ledger.Summarize(float64(r.res.EnergyJ), r.res.CO2Grams)
+		r.res.SLA = &s
 	}
 }

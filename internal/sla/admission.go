@@ -1,0 +1,79 @@
+package sla
+
+import "fmt"
+
+// Admission is the controller that decides, at submission time,
+// whether the platform should take a task on. The test is
+// conservative on purpose: a task is refused only when even the
+// *best-case* completion — the fastest node, an immediately free slot
+// — earns nothing under its penalty curve. Work that would merely be
+// late but still valuable is admitted as deferred (the scheduler may
+// queue it behind urgent work or a carbon window).
+type Admission struct {
+	// Margin scales the best-case completion estimate before the
+	// deadline comparison; 1 (the default for 0) admits on provable
+	// feasibility alone, larger values reserve headroom for queueing
+	// and estimation error.
+	Margin float64
+}
+
+// Verdict is one admission decision.
+type Verdict int
+
+// Admission verdicts.
+const (
+	// Admit: the task can complete on time in the best case.
+	Admit Verdict = iota
+	// AdmitLate: the deadline is already unreachable, but the penalty
+	// curve still retains value at the best-case lateness — run it,
+	// possibly deferred behind on-time work.
+	AdmitLate
+	// Reject: even the best case earns nothing (or a net penalty);
+	// running the task would burn joules for negative dollars.
+	Reject
+)
+
+// String renders the verdict for reports.
+func (v Verdict) String() string {
+	switch v {
+	case Admit:
+		return "admit"
+	case AdmitLate:
+		return "admit-late"
+	case Reject:
+		return "reject"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Validate reports configuration errors.
+func (a Admission) Validate() error {
+	if a.Margin != 0 && a.Margin < 1 {
+		return fmt.Errorf("sla: admission margin %v must be at least 1 (0 means the default of 1); sub-1 margins would admit provably infeasible work", a.Margin)
+	}
+	return nil
+}
+
+// Decide evaluates a task's terms at time now given bestExecSec, the
+// best-case execution time across the platform (fastest node, free
+// slot, no queue). Tasks without a deadline are always admitted.
+func (a Admission) Decide(now, bestExecSec float64, t Terms) Verdict {
+	if t.Deadline <= 0 {
+		return Admit
+	}
+	// Floor at 1 even if Validate was skipped: a sub-1 margin would
+	// shrink the best-case estimate and admit provably infeasible work.
+	margin := a.Margin
+	if margin < 1 {
+		margin = 1
+	}
+	lateness := now + margin*bestExecSec - t.Deadline
+	if lateness <= 0 {
+		return Admit
+	}
+	if t.ValueUSD*t.Curve.Retained(lateness) > 0 {
+		return AdmitLate
+	}
+	return Reject
+}

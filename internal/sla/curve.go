@@ -1,0 +1,141 @@
+package sla
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Curve maps a task's lateness (seconds past its deadline; ≤ 0 means
+// on time) to the fraction of the task's value retained. On-time
+// completions always retain 1. Fractions may go negative — a
+// contractual penalty on top of the forfeited value — but must stay
+// bounded and monotonically non-increasing in lateness.
+type Curve interface {
+	// Name identifies the curve in reports ("hard-drop", ...).
+	Name() string
+	// Retained returns the retained value fraction for a lateness.
+	Retained(lateness float64) float64
+	// Validate reports a descriptive error for malformed curves.
+	Validate() error
+}
+
+// Flat retains full value no matter how late the task completes —
+// best-effort work whose value does not decay.
+type Flat struct{}
+
+// Name implements Curve.
+func (Flat) Name() string { return "flat" }
+
+// Retained implements Curve.
+func (Flat) Retained(float64) float64 { return 1 }
+
+// Validate implements Curve.
+func (Flat) Validate() error { return nil }
+
+// HardDrop forfeits the whole value at the deadline: a result
+// delivered one second late is worth nothing (the classic hard
+// real-time contract).
+type HardDrop struct{}
+
+// Name implements Curve.
+func (HardDrop) Name() string { return "hard-drop" }
+
+// Retained implements Curve.
+func (HardDrop) Retained(lateness float64) float64 {
+	if lateness > 0 {
+		return 0
+	}
+	return 1
+}
+
+// Validate implements Curve.
+func (HardDrop) Validate() error { return nil }
+
+// LinearDecay retains full value at the deadline and decays linearly
+// to Floor over DecaySec of lateness — the soft contract under which
+// late work is still worth finishing.
+type LinearDecay struct {
+	// DecaySec is the lateness at which the retained fraction reaches
+	// Floor. Must be positive.
+	DecaySec float64
+	// Floor is the retained fraction once the decay completes; 0
+	// forfeits the value, negative adds a contractual penalty.
+	Floor float64
+}
+
+// Name implements Curve.
+func (c LinearDecay) Name() string { return "linear-decay" }
+
+// Retained implements Curve.
+func (c LinearDecay) Retained(lateness float64) float64 {
+	if lateness <= 0 {
+		return 1
+	}
+	if lateness >= c.DecaySec {
+		return c.Floor
+	}
+	return 1 + (c.Floor-1)*lateness/c.DecaySec
+}
+
+// Validate implements Curve.
+func (c LinearDecay) Validate() error {
+	if c.DecaySec <= 0 {
+		return fmt.Errorf("sla: linear decay needs a positive DecaySec, got %v", c.DecaySec)
+	}
+	if c.Floor > 1 {
+		return fmt.Errorf("sla: linear decay floor %v above full value", c.Floor)
+	}
+	return nil
+}
+
+// Step is one plateau of a Stepped curve: from AfterSec of lateness
+// onward, the retained fraction is Retained (until a later step).
+type Step struct {
+	AfterSec float64
+	Retained float64
+}
+
+// Stepped drops the retained fraction in plateaus — the shape of real
+// service credits ("99.9% on time: 50% credit; 99%: full refund").
+// Steps must be sorted by AfterSec ascending with non-increasing
+// retained fractions.
+type Stepped struct {
+	Steps []Step
+}
+
+// Name implements Curve.
+func (Stepped) Name() string { return "stepped" }
+
+// Retained implements Curve.
+func (c Stepped) Retained(lateness float64) float64 {
+	if lateness <= 0 {
+		return 1
+	}
+	// Last step whose threshold the lateness has passed.
+	i := sort.Search(len(c.Steps), func(i int) bool { return c.Steps[i].AfterSec > lateness }) - 1
+	if i < 0 {
+		return 1
+	}
+	return c.Steps[i].Retained
+}
+
+// Validate implements Curve.
+func (c Stepped) Validate() error {
+	if len(c.Steps) == 0 {
+		return fmt.Errorf("sla: stepped curve needs at least one step")
+	}
+	prevAt, prevRet := -1.0, 1.0
+	for i, s := range c.Steps {
+		if s.AfterSec < 0 {
+			return fmt.Errorf("sla: step %d at negative lateness %v", i, s.AfterSec)
+		}
+		if s.AfterSec <= prevAt {
+			return fmt.Errorf("sla: step %d at %v not after previous step at %v", i, s.AfterSec, prevAt)
+		}
+		if s.Retained > prevRet {
+			return fmt.Errorf("sla: step %d retains %v, more than the preceding %v", i, s.Retained, prevRet)
+		}
+		prevAt, prevRet = s.AfterSec, s.Retained
+	}
+	return nil
+}

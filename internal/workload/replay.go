@@ -14,11 +14,17 @@ import (
 // ParseTrace reads a submission trace in a minimal CSV dialect:
 //
 //	# comment lines and blank lines are skipped
-//	submit_seconds,ops[,preference]
+//	submit_seconds,ops[,preference[,deadline_seconds[,value_usd[,class]]]]
 //
 // and returns the time-sorted task list. It is the entry point for
 // replaying recorded production workloads (the stand-in for the batch
 // traces grid sites publish) through the scheduler.
+//
+// The SLA columns are optional and positional: deadline_seconds is the
+// completion deadline *relative to the task's submission* (0 = none),
+// value_usd the dollars an on-time completion earns, and class the SLA
+// class name (see package sla). Older 2- and 3-field traces parse
+// unchanged.
 func ParseTrace(r io.Reader) ([]Task, error) {
 	scanner := bufio.NewScanner(r)
 	var out []Task
@@ -30,8 +36,8 @@ func ParseTrace(r io.Reader) ([]Task, error) {
 			continue
 		}
 		fields := strings.Split(line, ",")
-		if len(fields) != 2 && len(fields) != 3 {
-			return nil, fmt.Errorf("workload: trace line %d: want 2-3 fields, got %d", lineNo, len(fields))
+		if len(fields) < 2 || len(fields) > 6 {
+			return nil, fmt.Errorf("workload: trace line %d: want 2-6 fields, got %d", lineNo, len(fields))
 		}
 		submit, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
 		if err != nil {
@@ -41,14 +47,35 @@ func ParseTrace(r io.Reader) ([]Task, error) {
 		if err != nil {
 			return nil, fmt.Errorf("workload: trace line %d: bad ops: %w", lineNo, err)
 		}
-		pref := 0.0
-		if len(fields) == 3 {
-			pref, err = strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+		task := Task{Ops: ops, Submit: submit}
+		if len(fields) >= 3 {
+			pref, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
 			if err != nil {
 				return nil, fmt.Errorf("workload: trace line %d: bad preference: %w", lineNo, err)
 			}
+			task.Pref = core.UserPref(pref)
 		}
-		task := Task{Ops: ops, Submit: submit, Pref: core.UserPref(pref)}
+		if len(fields) >= 4 {
+			rel, err := strconv.ParseFloat(strings.TrimSpace(fields[3]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace line %d: bad deadline: %w", lineNo, err)
+			}
+			if rel < 0 {
+				return nil, fmt.Errorf("workload: trace line %d: negative deadline %g", lineNo, rel)
+			}
+			if rel > 0 {
+				task.Deadline = submit + rel
+			}
+		}
+		if len(fields) >= 5 {
+			task.Value, err = strconv.ParseFloat(strings.TrimSpace(fields[4]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace line %d: bad value: %w", lineNo, err)
+			}
+		}
+		if len(fields) == 6 {
+			task.Class = strings.TrimSpace(fields[5])
+		}
 		if err := task.Validate(); err != nil {
 			return nil, fmt.Errorf("workload: trace line %d: %w", lineNo, err)
 		}
@@ -67,17 +94,45 @@ func ParseTrace(r io.Reader) ([]Task, error) {
 	return out, nil
 }
 
-// WriteTrace renders tasks in the ParseTrace format, preferences
-// included only when non-zero.
+// WriteTrace renders tasks in the ParseTrace format, emitting only as
+// many trailing optional columns as the task actually uses (deadlines
+// are written relative to submission, the way ParseTrace reads them).
 func WriteTrace(w io.Writer, tasks []Task) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "# submit_seconds,ops[,preference]")
+	fmt.Fprintln(bw, "# submit_seconds,ops[,preference[,deadline_seconds[,value_usd[,class]]]]")
 	for _, t := range tasks {
-		if t.Pref != 0 {
-			fmt.Fprintf(bw, "%g,%g,%g\n", t.Submit, t.Ops, float64(t.Pref))
-		} else {
-			fmt.Fprintf(bw, "%g,%g\n", t.Submit, t.Ops)
+		if strings.ContainsAny(t.Class, ",\n#") {
+			return fmt.Errorf("workload: class %q cannot be written to a trace", t.Class)
 		}
+		cols := 2
+		switch {
+		case t.Class != "":
+			cols = 6
+		case t.Value != 0:
+			cols = 5
+		case t.Deadline != 0:
+			cols = 4
+		case t.Pref != 0:
+			cols = 3
+		}
+		fmt.Fprintf(bw, "%g,%g", t.Submit, t.Ops)
+		if cols >= 3 {
+			fmt.Fprintf(bw, ",%g", float64(t.Pref))
+		}
+		if cols >= 4 {
+			rel := 0.0
+			if t.Deadline > 0 {
+				rel = t.Deadline - t.Submit
+			}
+			fmt.Fprintf(bw, ",%g", rel)
+		}
+		if cols >= 5 {
+			fmt.Fprintf(bw, ",%g", t.Value)
+		}
+		if cols == 6 {
+			fmt.Fprintf(bw, ",%s", t.Class)
+		}
+		fmt.Fprintln(bw)
 	}
 	return bw.Flush()
 }

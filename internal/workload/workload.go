@@ -20,15 +20,32 @@ type Task struct {
 	Ops    float64
 	Submit float64       // arrival time, seconds
 	Pref   core.UserPref // Preference_user attached to the request
+
+	// Deadline is the absolute completion deadline in seconds (same
+	// timeline as Submit); 0 means best-effort. Package sla resolves
+	// it against the task's class defaults.
+	Deadline float64
+	// Value is the dollars an on-time completion earns (0 = use the
+	// class default, or worthless best-effort work).
+	Value float64
+	// Class names the task's SLA class ("" = best-effort); see
+	// sla.Catalog.
+	Class string
 }
 
 // Validate reports a descriptive error for malformed tasks.
 func (t Task) Validate() error {
-	if t.Ops <= 0 {
+	switch {
+	case t.Ops <= 0:
 		return fmt.Errorf("workload: task %d has non-positive ops", t.ID)
-	}
-	if t.Submit < 0 {
+	case t.Submit < 0:
 		return fmt.Errorf("workload: task %d submitted at negative time", t.ID)
+	case t.Deadline < 0:
+		return fmt.Errorf("workload: task %d has negative deadline", t.ID)
+	case t.Deadline > 0 && t.Deadline <= t.Submit:
+		return fmt.Errorf("workload: task %d deadline %g not after submit %g", t.ID, t.Deadline, t.Submit)
+	case t.Value < 0:
+		return fmt.Errorf("workload: task %d has negative value", t.ID)
 	}
 	return nil
 }
@@ -42,6 +59,13 @@ type BurstThenRate struct {
 	Rate  float64 // continuous-phase arrivals per second
 	Ops   float64 // flops per task
 	Pref  core.UserPref
+
+	// SLA annotations applied to every generated task: class name,
+	// per-task value, and a deadline RelDeadline seconds after each
+	// task's submission (0 = none).
+	Class       string
+	Value       float64
+	RelDeadline float64
 }
 
 // Validate reports configuration errors.
@@ -69,7 +93,7 @@ func (g BurstThenRate) Tasks() ([]Task, error) {
 	}
 	out := make([]Task, 0, g.Total)
 	for i := 0; i < g.Burst; i++ {
-		out = append(out, Task{ID: i, Ops: g.Ops, Submit: 0, Pref: g.Pref})
+		out = append(out, g.task(i, 0))
 	}
 	period := 0.0
 	if g.Rate > 0 {
@@ -77,9 +101,18 @@ func (g BurstThenRate) Tasks() ([]Task, error) {
 	}
 	for i := g.Burst; i < g.Total; i++ {
 		at := float64(i-g.Burst+1) * period
-		out = append(out, Task{ID: i, Ops: g.Ops, Submit: at, Pref: g.Pref})
+		out = append(out, g.task(i, at))
 	}
 	return out, nil
+}
+
+func (g BurstThenRate) task(id int, at float64) Task {
+	t := Task{ID: id, Ops: g.Ops, Submit: at, Pref: g.Pref,
+		Class: g.Class, Value: g.Value}
+	if g.RelDeadline > 0 {
+		t.Deadline = at + g.RelDeadline
+	}
+	return t
 }
 
 // Poisson generates Total tasks with exponential inter-arrival times
@@ -137,6 +170,9 @@ func Shift(tasks []Task, by float64) []Task {
 	out := make([]Task, len(tasks))
 	for i, t := range tasks {
 		t.Submit += by
+		if t.Deadline > 0 {
+			t.Deadline += by // deadlines ride the same timeline
+		}
 		out[i] = t
 	}
 	return out
