@@ -280,6 +280,30 @@ func BenchmarkExtensionConsolidation(b *testing.B) {
 	b.ReportMetric(float64(cons.Shutdowns), "shutdowns")
 }
 
+// BenchmarkPreemptionStudy runs the checkpoint/restart study (CI's
+// bench smoke step executes it once): preemption must out-earn the
+// express-boot baseline at no more energy with zero victim breaches.
+func BenchmarkPreemptionStudy(b *testing.B) {
+	var res *experiments.PreemptionResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunPreemptionStudy(experiments.DefaultPreemptionConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	boot, _ := res.Run(experiments.PreemptRunExpressBoot)
+	pre, _ := res.Run(experiments.PreemptRunPreemption)
+	if pre.NetUSD() <= boot.NetUSD() || pre.EnergyJ > boot.EnergyJ || pre.VictimMisses != 0 {
+		b.Fatalf("preemption claim broken: net $%.2f vs $%.2f, energy %.0f vs %.0f J, %d victim misses",
+			pre.NetUSD(), boot.NetUSD(), pre.EnergyJ, boot.EnergyJ, pre.VictimMisses)
+	}
+	b.ReportMetric(pre.NetUSD()-boot.NetUSD(), "net-gain-$")
+	b.ReportMetric((1-pre.EnergyJ/boot.EnergyJ)*100, "energy-saving-%")
+	b.ReportMetric(float64(pre.Preemptions), "preemptions")
+	b.ReportMetric(pre.RedoneOps/9e9, "redone-work-s")
+}
+
 // BenchmarkExtensionHeterogeneityContinuum generalizes Figures 6-7
 // from two published platform points to a continuum: the G/GP/P
 // trade-off space must widen with hardware diversity (the paper:

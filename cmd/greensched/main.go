@@ -6,6 +6,7 @@
 //	greensched replicate [-seeds N]            Table II across seeds, mean ± CI
 //	greensched carbon    [-days N]             carbon-blind vs carbon-aware study
 //	greensched sla       [-seed N]             deadline/value-aware scheduling study
+//	greensched preempt   [-seed N]             express-boot vs checkpoint/restart preemption study
 //	greensched all       [-seed N]             everything above
 //
 // Output is written to stdout as ASCII tables/figures.
@@ -83,6 +84,8 @@ func run(args []string, out io.Writer) error {
 		return runCarbon(out, *seed, *days, *burst)
 	case "sla":
 		return runSLA(out, *seed)
+	case "preempt":
+		return runPreempt(out, *seed)
 	case "replay":
 		return runReplay(out, *traceFile, *policyName, *seed)
 	case "all":
@@ -110,6 +113,16 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "greensched: unknown command %q\n", cmd)
 		return errUsage
 	}
+}
+
+func runPreempt(out io.Writer, seed int64) error {
+	cfg := experiments.DefaultPreemptionConfig()
+	cfg.Seed = seed
+	res, err := experiments.RunPreemptionStudy(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(out)
 }
 
 func runSLA(out io.Writer, seed int64) error {
@@ -267,6 +280,7 @@ commands:
   consolidation  related-work baseline: idle shutdown vs always-on
   carbon      carbon-blind vs carbon-aware scheduling (-days N [-burst N])
   sla         deadline/value-aware scheduling: energy-only vs SLA-aware vs SLA+carbon
+  preempt     checkpoint/restart preemption vs express-boot-only for urgent work
   replay      schedule an external trace (-trace FILE [-policy P])
   all         run every experiment
 

@@ -74,6 +74,21 @@ func TestSLACommandSmoke(t *testing.T) {
 	}
 }
 
+// TestPreemptCommandSmoke runs the preemption study end-to-end through
+// the CLI dispatch and checks the headline report renders.
+func TestPreemptCommandSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"preempt", "-seed", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"EXPRESS-BOOT", "PREEMPTION", "Victim misses", "recovers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestUnknownCommandAndMissingArgs(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{}, &b); err != errUsage {

@@ -18,11 +18,13 @@
 //	internal/carbon         grid carbon-intensity signals, site profiles
 //	                        and the joules→grams integrator
 //	internal/sla            SLA classes (deadline, value, penalty curve),
-//	                        admission control and the revenue/penalty
+//	                        admission control, the checkpoint/restart
+//	                        preemption calculus and the revenue/penalty
 //	                        ledger
 //	internal/consolidation  related-work baseline (concentration + idle
 //	                        shutdown) and the carbon-window controller,
-//	                        both guarded by pending deadline slack
+//	                        both guarded by pending deadline slack and
+//	                        able to preempt batch for urgent work
 //	internal/analysis       Student-t / Welch statistics for multi-seed replication
 //	internal/experiments    one harness per table/figure + extension studies
 //	cmd/greensched          CLI to regenerate the evaluation

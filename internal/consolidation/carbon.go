@@ -70,6 +70,14 @@ type CarbonController struct {
 	// behaviour.
 	DeadlineSlackSec float64
 
+	// PreemptBatch, with the simulator's Config.Preemption enabled,
+	// lets the urgent path checkpoint a cheap running victim on a node
+	// whose queue holds at-risk deadline work instead of express-
+	// booting a dark node the queued work could never migrate to —
+	// chosen when the re-executed work costs fewer joules than a boot
+	// transient.
+	PreemptBatch bool
+
 	deferring  bool
 	deferSince float64
 }
@@ -136,7 +144,10 @@ func (c *CarbonController) Tick(now float64, ctl sim.Control) {
 	}
 
 	// Wake path: cover the net backlog with nodes at open sites,
-	// cleanest grid first.
+	// cleanest grid first. Only unplaced work counts as backlog: a
+	// queued task never migrates (the SED keeps its problem), so
+	// booting another node for it would burn idle joules on capacity
+	// that can never take the work.
 	backlog := ctl.Unplaced()
 	free, inbound, powered := 0, 0, 0
 	for i, n := range nodes {
@@ -148,7 +159,6 @@ func (c *CarbonController) Tick(now float64, ctl sim.Control) {
 		}
 		switch n.State {
 		case power.On:
-			backlog += n.Queued
 			if f := n.Slots - n.Running; f > 0 {
 				free += f
 			}
@@ -180,7 +190,13 @@ func (c *CarbonController) Tick(now float64, ctl sim.Control) {
 	// platform is dark — boot the cleanest node so the bypass lane has
 	// somewhere to land. Shutdowns pause while the deadline is tight;
 	// shedding capacity now would spend the very seconds it needs.
+	// Deadline work already stuck in a full node's queue is instead
+	// rescued in place by preempting a cheap victim (fresh capacity
+	// could never take it).
 	if urgent {
+		if c.PreemptBatch && preemptForUrgent(now, ctl, nodes) {
+			return
+		}
 		usable := 0
 		for _, n := range nodes {
 			if n.State.Usable() {

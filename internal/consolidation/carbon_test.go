@@ -107,6 +107,62 @@ func TestCarbonControllerWakesCleanestSiteFirst(t *testing.T) {
 	}
 }
 
+// TestCarbonControllerQueuedBacklogTriggersNoBoots: queued work never
+// migrates (the SED keeps its problem), so a backlog that exists only
+// inside SED queues must not boot nodes — they could never take the
+// work and would only burn idle energy.
+func TestCarbonControllerQueuedBacklogTriggersNoBoots(t *testing.T) {
+	c := newCarbonController(twoSiteProfile())
+	ctl := &fakeControl{
+		nodes: []sim.NodeView{
+			// Clean site (window open): one saturated node with a deep
+			// queue, one node powered off.
+			{Name: "g0", Cluster: "green", State: power.On, Slots: 2, Running: 2, Queued: 5, Candidate: true},
+			{Name: "g1", Cluster: "green", State: power.Off, Slots: 2},
+		},
+		unplaced: 0,
+	}
+	c.Tick(0, ctl)
+	if len(ctl.ons) != 0 {
+		t.Fatalf("queued-only backlog booted %v; queued work cannot migrate there", ctl.ons)
+	}
+	// Genuinely unplaced work still wakes capacity.
+	ctl.unplaced = 1
+	c.Tick(60, ctl)
+	if len(ctl.ons) != 1 || ctl.ons[0] != "g1" {
+		t.Fatalf("unplaced backlog woke %v, want [g1]", ctl.ons)
+	}
+}
+
+// TestCarbonControllerPreemptsInsteadOfExpressBoot: with PreemptBatch
+// on, deadline work stuck behind a full node's slots is rescued by
+// checkpointing the cheap batch victim in place — no express boot.
+func TestCarbonControllerPreemptsInsteadOfExpressBoot(t *testing.T) {
+	c := newCarbonController(twoSiteProfile())
+	c.DeadlineSlackSec = 300
+	c.PreemptBatch = true
+	slack := 100.0
+	ctl := &fakeControl{
+		nodes: []sim.NodeView{
+			{Name: "g0", Cluster: "green", State: power.On, Slots: 1, Running: 1, Queued: 1,
+				Candidate: true, QueuedAtRisk: true, TaskW: 10, BootSec: 120, BootW: 170},
+			{Name: "g1", Cluster: "green", State: power.Off, Slots: 1, BootSec: 120, BootW: 170},
+		},
+		running: map[string][]sim.RunningView{
+			"g0": {{TaskID: 7, Class: "batch", ValueUSD: 0.05, Ops: 1e12, RemainingSec: 500, RedoSec: 20}},
+		},
+		pendingSlack: &slack,
+	}
+	c.Tick(0, ctl)
+	// Redo cost 20 s × 10 W = 200 J ≪ one 120 s × 170 W boot: preempt.
+	if len(ctl.preempts) != 1 || ctl.preempts[0] != "g0/7" {
+		t.Fatalf("preempts %v, want [g0/7]", ctl.preempts)
+	}
+	if len(ctl.ons) != 0 {
+		t.Fatalf("express-booted %v although preemption reclaimed a slot", ctl.ons)
+	}
+}
+
 func TestCarbonControllerShutdownWindows(t *testing.T) {
 	c := newCarbonController(twoSiteProfile())
 	ctl := &fakeControl{

@@ -116,6 +116,14 @@ type Controller struct {
 	// even when free slots nominally cover it. 0 keeps the classic
 	// SLA-blind behaviour.
 	DeadlineSlackSec float64
+
+	// PreemptBatch, with the simulator's Config.Preemption enabled,
+	// lets the urgent path checkpoint a cheap running victim on a node
+	// whose queue holds at-risk deadline work instead of express-
+	// booting dark capacity the queued work could never migrate to —
+	// chosen when the re-executed work costs fewer joules than a boot
+	// transient.
+	PreemptBatch bool
 }
 
 // Validate checks the controller parameters.
@@ -147,6 +155,17 @@ func (c *Controller) Tick(now float64, ctl sim.Control) {
 	if c.DeadlineSlackSec > 0 {
 		if slack, ok := ctl.PendingSlack(); ok && slack <= c.DeadlineSlackSec {
 			urgent = true
+		}
+	}
+
+	// Preemption-first: deadline work stuck in a full node's queue is
+	// rescued in place — fresh capacity cannot take it (an elected
+	// request never migrates), so a cheap checkpoint beats a boot.
+	preempted := false
+	if urgent && c.PreemptBatch {
+		preempted = preemptForUrgent(now, ctl, nodes)
+		if preempted {
+			nodes = ctl.Nodes() // refresh: a slot freed and the queue drained
 		}
 	}
 
@@ -186,9 +205,10 @@ func (c *Controller) Tick(now float64, ctl sim.Control) {
 	if need > 0 {
 		need += c.WakeSlack
 	}
-	if urgent && need <= 0 && backlog > 0 {
+	if urgent && !preempted && need <= 0 && backlog > 0 {
 		// A deadline is at risk: free slots on loaded nodes may drain
-		// too late, so answer the backlog with fresh capacity anyway.
+		// too late, so answer the backlog with fresh capacity anyway
+		// (unless a preemption just reclaimed a slot in place).
 		need = backlog
 	}
 	for _, n := range nodes {

@@ -118,10 +118,33 @@ type fakeControl struct {
 
 	// pendingSlack scripts PendingSlack; nil = no pending deadlines.
 	pendingSlack *float64
+
+	// running scripts Running per node; preempts records Preempt calls
+	// as "node/taskID"; preemptErr, when set, refuses every Preempt.
+	running    map[string][]sim.RunningView
+	preempts   []string
+	preemptErr error
 }
 
 func (f *fakeControl) Nodes() []sim.NodeView { return f.nodes }
 func (f *fakeControl) Unplaced() int         { return f.unplaced }
+
+func (f *fakeControl) Running(name string) []sim.RunningView { return f.running[name] }
+
+func (f *fakeControl) Preempt(name string, taskID int) error {
+	if f.preemptErr != nil {
+		return f.preemptErr
+	}
+	for i := range f.nodes {
+		if f.nodes[i].Name == name {
+			f.nodes[i].Running--
+			f.nodes[i].QueuedAtRisk = false
+			f.preempts = append(f.preempts, fmt.Sprintf("%s/%d", name, taskID))
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown %s", name)
+}
 
 func (f *fakeControl) PendingSlack() (float64, bool) {
 	if f.pendingSlack == nil {

@@ -1,0 +1,61 @@
+package sched
+
+import "math"
+
+// VictimView describes one running task as a preemption candidate: the
+// task slice the queue disciplines already rank on, plus how much run
+// time it has left and how much deadline margin that leaves it.
+type VictimView struct {
+	TaskView
+	// RemainingSec is the run time left on the owning node if the task
+	// is not disturbed.
+	RemainingSec float64
+	// SlackSec is deadline − now − RemainingSec: the margin the task's
+	// own deadline retains. Deadline-free tasks carry +Inf.
+	SlackSec float64
+}
+
+// NewVictimView builds a VictimView from a task slice at time now,
+// deriving SlackSec from the deadline and remaining run time.
+func NewVictimView(t TaskView, now, remainingSec float64) VictimView {
+	v := VictimView{TaskView: t, RemainingSec: remainingSec, SlackSec: math.Inf(1)}
+	if t.Deadline > 0 {
+		v.SlackSec = t.Deadline - now - remainingSec
+	}
+	return v
+}
+
+// VictimLess orders preemption candidates cheapest-to-displace first:
+// lowest value density (the fewest dollars per flop at stake), then
+// most remaining slack (the victim that can best absorb a restart —
+// deadline-free batch work, with +Inf slack, always precedes deadline
+// carriers), then most remaining run time (the least completed work to
+// checkpoint), then task ID for determinism.
+func VictimLess(a, b VictimView) bool {
+	if va, vb := a.ValueDensity(), b.ValueDensity(); va != vb {
+		return va < vb
+	}
+	if a.SlackSec != b.SlackSec {
+		return a.SlackSec > b.SlackSec
+	}
+	if a.RemainingSec != b.RemainingSec {
+		return a.RemainingSec > b.RemainingSec
+	}
+	return a.ID < b.ID
+}
+
+// BestVictim returns the index of the cheapest displacement candidate
+// among views that pass the ok filter (the caller's safety screen), or
+// -1 when none qualifies.
+func BestVictim(views []VictimView, ok func(VictimView) bool) int {
+	best := -1
+	for i, v := range views {
+		if ok != nil && !ok(v) {
+			continue
+		}
+		if best < 0 || VictimLess(v, views[best]) {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,62 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewVictimView(t *testing.T) {
+	v := NewVictimView(TaskView{ID: 1, Ops: 1e9, Deadline: 500, Value: 2}, 100, 150)
+	if v.SlackSec != 250 {
+		t.Fatalf("slack %v, want 500-100-150", v.SlackSec)
+	}
+	free := NewVictimView(TaskView{ID: 2, Ops: 1e9}, 100, 150)
+	if !math.IsInf(free.SlackSec, 1) {
+		t.Fatalf("deadline-free slack %v, want +Inf", free.SlackSec)
+	}
+}
+
+func TestVictimLessOrdering(t *testing.T) {
+	batch := NewVictimView(TaskView{ID: 0, Ops: 1e12, Value: 0.05}, 0, 500)
+	pricey := NewVictimView(TaskView{ID: 1, Ops: 1e12, Value: 5}, 0, 500)
+	loose := NewVictimView(TaskView{ID: 2, Ops: 1e12, Value: 0.05, Deadline: 10000}, 0, 500)
+	tight := NewVictimView(TaskView{ID: 3, Ops: 1e12, Value: 0.05, Deadline: 600}, 0, 500)
+	fresh := NewVictimView(TaskView{ID: 4, Ops: 1e12, Value: 0.05}, 0, 900)
+
+	cases := []struct {
+		name string
+		a, b VictimView
+		want bool
+	}{
+		{"lower value density first", batch, pricey, true},
+		{"higher value density last", pricey, batch, false},
+		{"no deadline (infinite slack) before a deadline", batch, loose, true},
+		{"more slack before less", loose, tight, true},
+		{"more remaining (less progress lost) first", fresh, batch, true},
+		{"id tiebreak", batch, NewVictimView(TaskView{ID: 9, Ops: 1e12, Value: 0.05}, 0, 500), true},
+	}
+	for _, c := range cases {
+		if got := VictimLess(c.a, c.b); got != c.want {
+			t.Errorf("%s: VictimLess = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBestVictim(t *testing.T) {
+	views := []VictimView{
+		NewVictimView(TaskView{ID: 0, Ops: 1e12, Value: 5}, 0, 500),
+		NewVictimView(TaskView{ID: 1, Ops: 1e12, Value: 0.05}, 0, 500),
+		NewVictimView(TaskView{ID: 2, Ops: 1e12, Value: 0.01}, 0, 500),
+	}
+	if got := BestVictim(views, nil); got != 2 {
+		t.Fatalf("best %d, want the cheapest density", got)
+	}
+	// A safety filter can veto the cheapest.
+	got := BestVictim(views, func(v VictimView) bool { return v.ID != 2 })
+	if got != 1 {
+		t.Fatalf("filtered best %d, want 1", got)
+	}
+	if got := BestVictim(views, func(VictimView) bool { return false }); got != -1 {
+		t.Fatalf("all-vetoed best %d, want -1", got)
+	}
+}

@@ -2,9 +2,12 @@ package sim
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"greensched/internal/power"
 	"greensched/internal/simtime"
+	"greensched/internal/sla"
 	"greensched/internal/workload"
 )
 
@@ -28,6 +31,43 @@ type NodeView struct {
 	// Candidate reports whether the SED may be elected for new work.
 	// PowerOff clears it; PowerOn restores it.
 	Candidate bool
+
+	// BootSec and BootW are the node's boot transient (duration and
+	// draw), and TaskW its marginal per-core busy draw — the quantities
+	// controllers weigh when choosing between booting dark capacity and
+	// preempting in place.
+	BootSec float64
+	BootW   float64
+	TaskW   float64
+
+	// QueuedAtRisk reports a queued deadline task that waiting for the
+	// node's running work would provably breach while an immediate
+	// start would still meet — the preemption trigger: queued work
+	// cannot migrate (the SED keeps its problem), so booting capacity
+	// elsewhere cannot rescue it, but checkpointing a victim here can.
+	QueuedAtRisk bool
+}
+
+// RunningView is the controller-visible state of one executing task —
+// the victim description Control.Preempt decisions rank on.
+type RunningView struct {
+	TaskID int
+	Class  string
+	// Deadline and ValueUSD are the task's resolved terms (deadline 0
+	// = none).
+	Deadline float64
+	ValueUSD float64
+	// Ops is the work this execution segment set out to do (remaining
+	// work after any earlier checkpoints).
+	Ops float64
+	// Started is when the current segment began; RemainingSec the run
+	// time left on this node if undisturbed.
+	Started      float64
+	RemainingSec float64
+	// RedoSec estimates the execution seconds a checkpoint now would
+	// re-execute after restart (the restart penalty's share of the
+	// elapsed segment); 0 while preemption is disabled.
+	RedoSec float64
 }
 
 // Control is the surface handed to Config.OnControl each tick. All
@@ -61,6 +101,18 @@ type Control interface {
 	// that defer work or shut capacity down must keep this positive —
 	// a deferral past it provably breaks an admitted task's SLA.
 	PendingSlack() (slack float64, ok bool)
+	// Running lists the named node's executing tasks (sorted by task
+	// ID) — the victim candidates for Preempt. Nil for unknown nodes.
+	Running(name string) []RunningView
+	// Preempt checkpoints one running task: its completed Ops fraction
+	// is retained minus Config.Preemption's restart penalty, the
+	// executed segment keeps its energy/CO2 charge, the remainder
+	// re-enters election, and the freed slot immediately drains the
+	// node's queue. It refuses unknown nodes or tasks, runs without
+	// Config.Preemption, zero-progress segments, and victims whose own
+	// deadline the restart would breach — preemption may never
+	// manufacture a new SLA miss.
+	Preempt(name string, taskID int) error
 }
 
 // runnerControl implements Control against a Runner at a fixed tick
@@ -73,21 +125,114 @@ type runnerControl struct {
 func (c *runnerControl) Nodes() []NodeView {
 	out := make([]NodeView, 0, len(c.r.seds))
 	for _, sed := range c.r.seds {
+		spec := sed.node.Spec
 		v := NodeView{
-			Name:      sed.node.Spec.Name,
-			Cluster:   sed.node.Spec.Cluster,
+			Name:      spec.Name,
+			Cluster:   spec.Cluster,
 			State:     sed.node.State(),
 			Slots:     sed.slots,
 			Running:   len(sed.running),
 			Queued:    len(sed.queue),
 			Candidate: sed.candidate,
+			BootSec:   spec.BootSec,
+			BootW:     float64(spec.BootW),
+			TaskW:     float64(spec.PeakW-spec.IdleW) / float64(spec.Cores),
 		}
 		if v.State == power.On && v.Running == 0 && v.Queued == 0 {
 			v.Idle = c.now - sed.idleAt
 		}
+		v.QueuedAtRisk = c.queuedAtRisk(sed)
 		out = append(out, v)
 	}
 	return out
+}
+
+// queuedAtRisk reports a queued deadline task on sed that waiting for
+// the earliest running slot would provably breach while an immediate
+// start would still meet.
+func (c *runnerControl) queuedAtRisk(sed *sedState) bool {
+	if len(sed.queue) == 0 || sed.freeSlots() > 0 {
+		return false
+	}
+	// Earliest slot release: the head-of-queue wait under any work-
+	// conserving discipline.
+	wait := math.Inf(1)
+	for _, rt := range sed.running {
+		if w := rt.finish.At.Seconds() - c.now; w < wait {
+			wait = w
+		}
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	for _, p := range sed.queue {
+		view := c.r.taskView(p.task)
+		if view.Deadline <= 0 {
+			continue
+		}
+		exec := sed.node.Spec.TaskSeconds(p.task.Ops)
+		if c.now+wait+exec > view.Deadline && c.now+exec <= view.Deadline {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *runnerControl) Running(name string) []RunningView {
+	sed := c.r.sedByName(name)
+	if sed == nil {
+		return nil
+	}
+	out := make([]RunningView, 0, len(sed.running))
+	for _, rt := range sed.running {
+		terms := c.r.victimTerms(rt.task)
+		rv := RunningView{
+			TaskID:       rt.task.ID,
+			Class:        rt.task.Class,
+			Deadline:     terms.Deadline,
+			ValueUSD:     terms.ValueUSD,
+			Ops:          rt.task.Ops,
+			Started:      rt.start,
+			RemainingSec: rt.finish.At.Seconds() - c.now,
+		}
+		if pre := c.r.cfg.Preemption; pre != nil {
+			done := c.r.doneOps(c.now, rt)
+			rv.RedoSec = sed.node.Spec.TaskSeconds(pre.RedoneOps(done))
+		}
+		out = append(out, rv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TaskID < out[j].TaskID })
+	return out
+}
+
+func (c *runnerControl) Preempt(name string, taskID int) error {
+	if c.r.cfg.Preemption == nil {
+		return fmt.Errorf("sim: Preempt of %s/%d with preemption disabled", name, taskID)
+	}
+	sed := c.r.sedByName(name)
+	if sed == nil {
+		return fmt.Errorf("sim: Preempt on unknown node %q", name)
+	}
+	rt, ok := sed.running[taskID]
+	if !ok {
+		return fmt.Errorf("sim: Preempt of task %d not running on %s", taskID, name)
+	}
+	if c.now <= rt.start {
+		return fmt.Errorf("sim: Preempt of task %d with zero progress on %s", taskID, name)
+	}
+	// The freed slot goes to the queue first, so the victim waits at
+	// least that task's execution before it can restart here — that
+	// occupancy must not push the victim past its own deadline.
+	occupied := 0.0
+	if len(sed.queue) > 0 {
+		occupied = sed.node.Spec.TaskSeconds(sed.queue[c.r.nextQueued(sed)].task.Ops)
+	}
+	if !sla.SafeToDisplace(c.now, occupied, c.r.restartRemainingSec(c.now, sed, rt), c.r.victimTerms(rt.task)) {
+		return fmt.Errorf("sim: Preempt of task %d would breach its own deadline", taskID)
+	}
+	c.r.preempt(c.now, sed, rt)
+	c.r.drainQueue(c.now, sed)
+	return nil
 }
 
 func (c *runnerControl) Unplaced() int { return c.r.unplaced }
@@ -159,6 +304,7 @@ func (c *runnerControl) PowerOn(name string) error {
 		return err
 	}
 	sed.candidate = true
+	sed.failed = false // booting a crashed node repairs it
 	c.r.res.Boots++
 	idx := sed.idx
 	c.r.eng.At(simtime.Time(done), "boot-done", func(t simtime.Time) {

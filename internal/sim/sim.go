@@ -12,6 +12,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -114,6 +115,17 @@ type Config struct {
 	// revenue/penalty ledger plus per-task slack.
 	SLA *sla.Config
 
+	// Preemption, when set, relaxes the run-to-completion invariant:
+	// a deadline-urgent arrival may checkpoint and displace a running
+	// task when the elected SED's own slack math says waiting would
+	// breach the deadline but preempting would not, and controllers may
+	// issue Control.Preempt. The checkpointed fraction of the victim's
+	// Ops is retained minus the configured restart penalty; the victim
+	// re-enters election with the remainder. A victim whose own
+	// deadline the restart would breach is never displaced
+	// (sla.SafeToDisplace). nil keeps tasks non-preemptible.
+	Preemption *sla.Preemption
+
 	// PolicyFunc, when set, builds the election policy per arriving
 	// task — the hook SLA-aware runs use to wrap Policy with
 	// sched.DeadlineAware or SLAWeightedPolicy for the task's own
@@ -156,6 +168,11 @@ type TaskRecord struct {
 	MeanPowerW float64
 	// Resubmits counts crash-induced re-executions.
 	Resubmits int
+	// Preemptions counts how many times the task was checkpointed and
+	// displaced before this completion; Start and Exec() then describe
+	// the final execution segment only, while EnergyShareJ and CO2Grams
+	// still cover every segment.
+	Preemptions int
 
 	// Deadline is the task's effective absolute deadline (class
 	// defaults resolved; 0 = none) and Class its SLA class.
@@ -226,7 +243,13 @@ type Result struct {
 	Series  []Point
 
 	Completed int
-	Crashed   int // task executions lost to crashes (each resubmitted)
+	Crashed   int // running task executions lost to crashes (each resubmitted)
+
+	// Preemptions counts checkpoint/displace events (arrival-path and
+	// Control.Preempt alike); PreemptRedoneOps sums the completed work
+	// the restart penalty forced victims to re-execute.
+	Preemptions      int
+	PreemptRedoneOps float64
 
 	// Boots and Shutdowns count controller-issued power transitions
 	// (zero unless Config.OnControl is set).
@@ -298,6 +321,11 @@ type sedState struct {
 	// SEDs candidates).
 	candidate bool
 
+	// failed marks a crashed node: it stays unusable (and excluded from
+	// best-case feasibility bounds) until a controller repairs it via
+	// PowerOn.
+	failed bool
+
 	// idleAt is the virtual time the node last became workless; the
 	// controller hook reads it to apply idle timeouts. Meaningful only
 	// while running and queue are empty.
@@ -323,6 +351,19 @@ type pendingTask struct {
 	// waiting marks a task already counted in Runner.unplaced while it
 	// retries election.
 	waiting bool
+
+	// admitted marks a task that already passed the admission screen
+	// (a queued task migrating off a crashed node): it must never be
+	// re-screened at a later, slack-poorer time.
+	admitted bool
+
+	// preemptions counts checkpoint/displace cycles; task.Ops then
+	// holds the remaining (penalty-inflated) work, and carriedJ /
+	// carriedG accumulate the energy and emissions the preempted
+	// segments already charged, folded into the final TaskRecord.
+	preemptions int
+	carriedJ    float64
+	carriedG    float64
 }
 
 type runningTask struct {
@@ -334,6 +375,15 @@ type runningTask struct {
 	// difference at finish divided by the duration is the mean
 	// concurrency the energy attribution splits by.
 	busyMark float64
+
+	// plannedExec is the scheduled execution time of this segment
+	// (contention and jitter applied); preemption derives the completed
+	// Ops fraction from elapsed/plannedExec.
+	plannedExec float64
+	// Checkpoint state carried across preemptions (see pendingTask).
+	preemptions int
+	carriedJ    float64
+	carriedG    float64
 }
 
 func (s *sedState) freeSlots() int {
@@ -480,6 +530,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 			PerClusterCO2:    make(map[string]float64),
 		},
 	}
+	if cfg.Preemption != nil {
+		if err := cfg.Preemption.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.SLA != nil {
 		if err := cfg.SLA.Validate(); err != nil {
 			return nil, err
@@ -578,9 +633,11 @@ func (r *Runner) Run() (*Result, error) {
 }
 
 func (r *Runner) onArrival(now float64, p pendingTask) {
-	// Admission screen: first submissions only — crash resubmissions
-	// and retries were already admitted.
-	if r.cfg.SLA != nil && r.cfg.SLA.Admission != nil && !p.waiting && p.resubmits == 0 {
+	// Admission screen: first submissions only — crash resubmissions,
+	// crash-migrated queued tasks, preemption restarts and retries were
+	// already admitted.
+	if r.cfg.SLA != nil && r.cfg.SLA.Admission != nil &&
+		!p.waiting && !p.admitted && p.resubmits == 0 && p.preemptions == 0 {
 		terms := r.terms[p.task.ID]
 		if r.cfg.SLA.Admission.Decide(now, r.bestExec(p.task.Ops), terms) == sla.Reject {
 			r.ledger.Reject(terms)
@@ -624,23 +681,37 @@ func (r *Runner) onArrival(now float64, p pendingTask) {
 		delete(r.waiting, p.task.ID)
 	}
 	sed := r.seds[r.cfg.Platform.Find(chosen.Server)]
-	if sed.freeSlots() > 0 {
+	switch {
+	case sed.freeSlots() > 0:
 		r.startTask(now, sed, p)
-	} else {
+	case r.tryPreempt(now, sed, p):
+		// A victim was checkpointed and the urgent task started in its
+		// slot.
+	default:
 		sed.queue = append(sed.queue, p)
 	}
 }
 
 // bestExec returns the platform's best-case execution time for a task
 // — the fastest node, a free core, no queue. Admission control uses
-// it as the "provably cannot serve" bound.
+// it as the "provably cannot serve" bound. Crashed nodes are excluded:
+// a dead node's speed is not capacity, and ranking it here would admit
+// work whose only feasible server no longer exists. Powered-off nodes
+// still count — a controller can boot them. With every node failed the
+// bound is +Inf, so admission rejects deadline work outright.
 func (r *Runner) bestExec(ops float64) float64 {
-	best := 0.0
-	for i, sed := range r.seds {
-		e := sed.node.Spec.TaskSeconds(ops)
-		if i == 0 || e < best {
-			best = e
+	best, found := 0.0, false
+	for _, sed := range r.seds {
+		if sed.failed {
+			continue
 		}
+		e := sed.node.Spec.TaskSeconds(ops)
+		if !found || e < best {
+			best, found = e, true
+		}
+	}
+	if !found {
+		return math.Inf(1)
 	}
 	return best
 }
@@ -658,7 +729,10 @@ func (r *Runner) startTask(now float64, sed *sedState, p pendingTask) {
 		exec *= 1 + (r.rng.Float64()*2-1)*j
 	}
 	sed.advanceBusy(now)
-	rt := &runningTask{task: p.task, start: now, resubmits: p.resubmits, busyMark: sed.busyIntegral}
+	rt := &runningTask{
+		task: p.task, start: now, resubmits: p.resubmits, busyMark: sed.busyIntegral,
+		plannedExec: exec, preemptions: p.preemptions, carriedJ: p.carriedJ, carriedG: p.carriedG,
+	}
 	rt.finish = r.eng.After(exec, "finish", func(t simtime.Time) {
 		r.onFinish(t.Seconds(), sed, rt)
 	})
@@ -683,16 +757,17 @@ func (r *Runner) onFinish(now float64, sed *sedState, rt *runningTask) {
 		sed.est.ObserveRequest(meanW, rt.task.Ops, exec)
 	}
 	rec := TaskRecord{
-		ID:         rt.task.ID,
-		Server:     sed.node.Spec.Name,
-		Cluster:    sed.node.Spec.Cluster,
-		Submit:     rt.task.Submit,
-		Start:      rt.start,
-		Finish:     now,
-		MeanPowerW: meanW,
-		Resubmits:  rt.resubmits,
-		Deadline:   rt.task.Deadline,
-		Class:      rt.task.Class,
+		ID:          rt.task.ID,
+		Server:      sed.node.Spec.Name,
+		Cluster:     sed.node.Spec.Cluster,
+		Submit:      rt.task.Submit,
+		Start:       rt.start,
+		Finish:      now,
+		MeanPowerW:  meanW,
+		Resubmits:   rt.resubmits,
+		Preemptions: rt.preemptions,
+		Deadline:    rt.task.Deadline,
+		Class:       rt.task.Class,
 	}
 	if r.cfg.SLA != nil {
 		terms := r.terms[rt.task.ID]
@@ -706,15 +781,19 @@ func (r *Runner) onFinish(now float64, sed *sedState, rt *runningTask) {
 	// Per-task energy share: the node's measured draw over the window,
 	// split across the mean number of co-running tasks so concurrent
 	// tasks divide the node's joules instead of each claiming all.
+	// Preempted segments were charged the same way at checkpoint time
+	// and carried forward, so the record still accounts every joule the
+	// task consumed.
 	meanBusy := (sed.busyIntegral - rt.busyMark) / exec
 	if meanBusy < 1 {
 		meanBusy = 1
 	}
-	rec.EnergyShareJ = meanW * exec / meanBusy
+	rec.EnergyShareJ = meanW*exec/meanBusy + rt.carriedJ
+	rec.CO2Grams = rt.carriedG
 	if sed.site != nil {
-		// Carbon attribution: the energy share integrated against the
-		// site's intensity over the execution window.
-		rec.CO2Grams = carbon.Grams(*sed.site, rec.EnergyShareJ, rt.start, now)
+		// Carbon attribution: the final segment's energy share
+		// integrated against the site's intensity over its window.
+		rec.CO2Grams += carbon.Grams(*sed.site, meanW*exec/meanBusy, rt.start, now)
 	}
 	r.res.Records = append(r.res.Records, rec)
 	r.res.Completed++
@@ -734,20 +813,26 @@ func (r *Runner) onFinish(now float64, sed *sedState, rt *runningTask) {
 
 func (r *Runner) drainQueue(now float64, sed *sedState) {
 	for len(sed.queue) > 0 && sed.freeSlots() > 0 {
-		next := 0
-		if r.order != nil {
-			// SLA queue discipline: pop the best task per the
-			// configured order (EDF, VALUE-DENSITY) instead of FIFO.
-			for i := 1; i < len(sed.queue); i++ {
-				if r.order.Less(r.taskView(sed.queue[i].task), r.taskView(sed.queue[next].task)) {
-					next = i
-				}
-			}
-		}
+		next := r.nextQueued(sed)
 		p := sed.queue[next]
 		sed.queue = append(sed.queue[:next], sed.queue[next+1:]...)
 		r.startTask(now, sed, p)
 	}
+}
+
+// nextQueued returns the index of the task a freed slot on sed serves
+// next: the best per the SLA queue discipline (EDF, VALUE-DENSITY),
+// or the head under FIFO.
+func (r *Runner) nextQueued(sed *sedState) int {
+	next := 0
+	if r.order != nil {
+		for i := 1; i < len(sed.queue); i++ {
+			if r.order.Less(r.taskView(sed.queue[i].task), r.taskView(sed.queue[next].task)) {
+				next = i
+			}
+		}
+	}
+	return next
 }
 
 // taskView projects a task into the slice queue disciplines rank on,
@@ -762,21 +847,29 @@ func (r *Runner) taskView(t workload.Task) sched.TaskView {
 }
 
 func (r *Runner) onCrash(now float64, sed *sedState) {
-	// Collect and cancel in-flight work, then fail the node.
+	// Collect and cancel in-flight work, then fail the node. Only
+	// running tasks lose an execution (and are charged a resubmit):
+	// queued work never started, so it migrates to a fresh election
+	// with its stats untouched instead of inflating Result.Crashed.
 	sed.advanceBusy(now)
 	var lost []pendingTask
 	for id, rt := range sed.running {
 		r.eng.Cancel(rt.finish)
-		lost = append(lost, pendingTask{task: rt.task, resubmits: rt.resubmits + 1})
+		lost = append(lost, pendingTask{
+			task: rt.task, resubmits: rt.resubmits + 1,
+			preemptions: rt.preemptions, carriedJ: rt.carriedJ, carriedG: rt.carriedG,
+		})
 		delete(sed.running, id)
 	}
+	r.res.Crashed += len(lost)
 	for _, p := range sed.queue {
-		lost = append(lost, pendingTask{task: p.task, resubmits: p.resubmits + 1})
+		p.admitted = true // already screened; never re-screen at crash time
+		lost = append(lost, p)
 	}
 	sed.queue = nil
 	sed.node.Crash(now)
 	sed.candidate = false
-	r.res.Crashed += len(lost)
+	sed.failed = true
 	// Deterministic resubmission order.
 	sort.Slice(lost, func(i, j int) bool { return lost[i].task.ID < lost[j].task.ID })
 	for _, p := range lost {

@@ -151,14 +151,26 @@ func (a Account) Line() string {
 		a.EarnedUSD, a.ForfeitedUSD, a.PenaltyUSD)
 }
 
-// Render writes the per-class breakdown plus totals.
+// Render writes the per-class breakdown plus totals. Runs that earned
+// nothing have no meaningful cost-of-revenue intensity, so the +Inf
+// sentinels render as "n/a" instead of leaking into the report.
 func (s Summary) Render(w io.Writer) error {
 	for _, a := range s.PerClass {
 		if _, err := fmt.Fprintf(w, "  %s\n", a.Line()); err != nil {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "  total earned $%.2f, forfeited $%.2f, penalties $%.2f; %.0f J/$, %.1f gCO2/$\n",
-		s.EarnedUSD, s.ForfeitedUSD, s.PenaltyUSD, s.JoulesPerUSD, s.GramsPerUSD)
+	_, err := fmt.Fprintf(w, "  total earned $%.2f, forfeited $%.2f, penalties $%.2f; %s J/$, %s gCO2/$\n",
+		s.EarnedUSD, s.ForfeitedUSD, s.PenaltyUSD,
+		perUSD(s.JoulesPerUSD, "%.0f"), perUSD(s.GramsPerUSD, "%.1f"))
 	return err
+}
+
+// perUSD formats a per-dollar intensity, mapping the zero-revenue +Inf
+// sentinel to "n/a".
+func perUSD(v float64, format string) string {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf(format, v)
 }

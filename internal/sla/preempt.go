@@ -1,0 +1,83 @@
+package sla
+
+import "fmt"
+
+// This file holds the preemption cost calculus: pure arithmetic over
+// resolved Terms that decides when displacing a running task for a
+// deadline-urgent one is safe and worthwhile. The simulator (and any
+// live executor) supplies the mechanics — checkpointing a task's
+// completed Ops fraction and re-queueing the remainder — and consults
+// these functions for the policy, in the style of the preemptive
+// revenue-management schedulers of Li et al.
+//
+// The cardinal rule: preemption may never manufacture a new SLA breach.
+// A victim whose own deadline the restart penalty would push past is
+// untouchable, no matter how urgent the preemptor.
+
+// Preemption parameterizes checkpoint/restart semantics.
+type Preemption struct {
+	// RestartPenaltyFrac is the fraction of checkpointed progress that
+	// must be re-executed after a restart, in [0, 1]: 0 models a
+	// perfect checkpoint (every completed op survives), 1 models no
+	// checkpoint at all (the task restarts from scratch).
+	RestartPenaltyFrac float64
+}
+
+// Validate reports configuration errors.
+func (p Preemption) Validate() error {
+	if p.RestartPenaltyFrac < 0 || p.RestartPenaltyFrac > 1 {
+		return fmt.Errorf("sla: restart penalty fraction %v outside [0,1]", p.RestartPenaltyFrac)
+	}
+	return nil
+}
+
+// RedoneOps returns the completed work a checkpoint at doneOps forfeits
+// to the restart penalty.
+func (p Preemption) RedoneOps(doneOps float64) float64 {
+	if doneOps <= 0 {
+		return 0
+	}
+	return p.RestartPenaltyFrac * doneOps
+}
+
+// RemainingOps returns the ops a task of totalOps still owes after
+// being checkpointed with doneOps completed: the unfinished work plus
+// the penalty's share of the finished work, clamped to [0, totalOps].
+func (p Preemption) RemainingOps(totalOps, doneOps float64) float64 {
+	if doneOps < 0 {
+		doneOps = 0
+	}
+	if doneOps > totalOps {
+		doneOps = totalOps
+	}
+	rem := totalOps - doneOps + p.RedoneOps(doneOps)
+	if rem > totalOps {
+		rem = totalOps
+	}
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// SafeToDisplace reports whether checkpointing a victim for an urgent
+// task cannot itself breach the victim's deadline: parked while the
+// urgent work runs for urgentExecSec and then restarted with
+// restartRemainingSec of (penalty-inflated) work left, the victim must
+// still finish by its deadline. Victims without a deadline are always
+// safe to displace — they lose time, never contractual value.
+func SafeToDisplace(now, urgentExecSec, restartRemainingSec float64, victim Terms) bool {
+	if victim.Deadline <= 0 {
+		return true
+	}
+	return now+urgentExecSec+restartRemainingSec <= victim.Deadline
+}
+
+// DisplacementGainUSD returns the dollars an urgent task gains by
+// starting now (completing after execSec) instead of waiting waitSec
+// for a slot — the value the penalty curve preserves. Non-positive
+// gain means preemption buys nothing: the task is either on time
+// anyway or already past the point its curve rewards.
+func DisplacementGainUSD(t Terms, now, execSec, waitSec float64) float64 {
+	return t.EarnedUSD(now+execSec) - t.EarnedUSD(now+waitSec+execSec)
+}

@@ -1,0 +1,90 @@
+package sla
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPreemptionValidate(t *testing.T) {
+	for _, ok := range []float64{0, 0.5, 1} {
+		if err := (Preemption{RestartPenaltyFrac: ok}).Validate(); err != nil {
+			t.Errorf("penalty %v rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []float64{-0.1, 1.1} {
+		if err := (Preemption{RestartPenaltyFrac: bad}).Validate(); err == nil {
+			t.Errorf("penalty %v accepted", bad)
+		}
+	}
+}
+
+func TestPreemptionOps(t *testing.T) {
+	p := Preemption{RestartPenaltyFrac: 0.5}
+	if got := p.RedoneOps(100); got != 50 {
+		t.Errorf("redone %v, want 50", got)
+	}
+	if got := p.RedoneOps(-5); got != 0 {
+		t.Errorf("negative done redone %v, want 0", got)
+	}
+	// 1000 total, 100 done: 900 left plus 50 redone.
+	if got := p.RemainingOps(1000, 100); got != 950 {
+		t.Errorf("remaining %v, want 950", got)
+	}
+	// Perfect checkpoint keeps every op; full penalty restarts cold.
+	if got := (Preemption{}).RemainingOps(1000, 400); got != 600 {
+		t.Errorf("perfect checkpoint remaining %v, want 600", got)
+	}
+	if got := (Preemption{RestartPenaltyFrac: 1}).RemainingOps(1000, 400); got != 1000 {
+		t.Errorf("cold restart remaining %v, want 1000", got)
+	}
+	// Clamps: done beyond total, negative done.
+	if got := p.RemainingOps(1000, 2000); got != 500 {
+		t.Errorf("overdone remaining %v, want 500", got)
+	}
+	if got := p.RemainingOps(1000, -10); got != 1000 {
+		t.Errorf("underdone remaining %v, want 1000", got)
+	}
+}
+
+func TestSafeToDisplace(t *testing.T) {
+	victim := Terms{Deadline: 1000, Curve: HardDrop{}}
+	// 100 + 50 urgent + 800 restart = 950 ≤ 1000: safe.
+	if !SafeToDisplace(100, 50, 800, victim) {
+		t.Error("feasible displacement refused")
+	}
+	// 100 + 50 + 900 = 1050 > 1000: the restart would breach.
+	if SafeToDisplace(100, 50, 900, victim) {
+		t.Error("breaching displacement allowed")
+	}
+	// Exactly at the deadline counts as met (the boundary rule).
+	if !SafeToDisplace(100, 50, 850, victim) {
+		t.Error("boundary displacement refused")
+	}
+	// Deadline-free victims are always safe.
+	if !SafeToDisplace(100, 50, math.Inf(1), Terms{Curve: Flat{}}) {
+		t.Error("deadline-free victim refused")
+	}
+}
+
+func TestDisplacementGainUSD(t *testing.T) {
+	hard := Terms{Deadline: 100, ValueUSD: 2, Curve: HardDrop{}}
+	// Starting now finishes at 60 (on time, $2); waiting 500 s loses it.
+	if got := DisplacementGainUSD(hard, 50, 10, 500); got != 2 {
+		t.Errorf("gain %v, want 2", got)
+	}
+	// Waiting still meets the deadline: nothing to gain.
+	if got := DisplacementGainUSD(hard, 50, 10, 20); got != 0 {
+		t.Errorf("no-op gain %v, want 0", got)
+	}
+	// Already hopeless either way: nothing to gain.
+	if got := DisplacementGainUSD(hard, 150, 10, 500); got != 0 {
+		t.Errorf("hopeless gain %v, want 0", got)
+	}
+	// A decay curve gains partially.
+	soft := Terms{Deadline: 100, ValueUSD: 2, Curve: LinearDecay{DecaySec: 100}}
+	got := DisplacementGainUSD(soft, 100, 10, 50)
+	want := 2*(1-10.0/100) - 2*(1-60.0/100)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("decay gain %v, want %v", got, want)
+	}
+}

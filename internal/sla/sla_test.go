@@ -252,6 +252,17 @@ func TestLedgerEarnsNothing(t *testing.T) {
 	if !math.IsInf(s.JoulesPerUSD, 1) || !math.IsInf(s.GramsPerUSD, 1) {
 		t.Errorf("zero-revenue intensities = %v, %v; want +Inf", s.JoulesPerUSD, s.GramsPerUSD)
 	}
+	// The report renders the sentinel as n/a, never "+Inf J/$".
+	var b strings.Builder
+	if err := s.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "Inf") {
+		t.Errorf("render leaks the Inf sentinel:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "n/a J/$, n/a gCO2/$") {
+		t.Errorf("render missing n/a intensities:\n%s", b.String())
+	}
 }
 
 func TestConfigValidate(t *testing.T) {
