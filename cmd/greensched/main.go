@@ -7,7 +7,8 @@
 //	greensched carbon    [-days N]             carbon-blind vs carbon-aware study
 //	greensched sla       [-seed N]             deadline/value-aware scheduling study
 //	greensched preempt   [-seed N]             express-boot vs checkpoint/restart preemption study
-//	greensched all       [-seed N]             everything above
+//	greensched scenario  [-seed N]             composed module stack: carbon + SLA + preemption + budget in one run
+//	greensched all       [-seed N]             every study above (replicate and replay excluded)
 //
 // Output is written to stdout as ASCII tables/figures.
 package main
@@ -30,7 +31,7 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		if err == errUsage {
-			usage()
+			usage(os.Stderr)
 			os.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "greensched: %v\n", err)
@@ -73,22 +74,20 @@ func run(args []string, out io.Writer) error {
 	case "replicate":
 		return runReplicate(out, *seed, *seeds, *static)
 	case "consolidation":
-		cfg := experiments.DefaultConsolidationConfig()
-		cfg.Seed = *seed
-		res, err := experiments.RunConsolidation(cfg)
-		if err != nil {
-			return err
-		}
-		return res.Render(out)
+		return runConsolidation(out, *seed)
 	case "carbon":
 		return runCarbon(out, *seed, *days, *burst)
 	case "sla":
 		return runSLA(out, *seed)
 	case "preempt":
 		return runPreempt(out, *seed)
+	case "scenario":
+		return runScenario(out, *seed)
 	case "replay":
 		return runReplay(out, *traceFile, *policyName, *seed)
 	case "all":
+		// Every study except replicate (its multi-seed sweep is a
+		// deliberate, slower invocation) and replay (needs a trace).
 		if err := runPlacement(out, *seed, *static, *csvDir); err != nil {
 			return err
 		}
@@ -105,14 +104,49 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		return runCarbon(out, *seed, *days, *burst)
+		if err := runConsolidation(out, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if err := runCarbon(out, *seed, *days, *burst); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if err := runSLA(out, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if err := runPreempt(out, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		return runScenario(out, *seed)
 	case "-h", "--help", "help":
-		usage()
+		usage(out)
 		return nil
 	default:
-		fmt.Fprintf(os.Stderr, "greensched: unknown command %q\n", cmd)
-		return errUsage
+		return fmt.Errorf("unknown command %q (run 'greensched help' for usage)", cmd)
 	}
+}
+
+func runConsolidation(out io.Writer, seed int64) error {
+	cfg := experiments.DefaultConsolidationConfig()
+	cfg.Seed = seed
+	res, err := experiments.RunConsolidation(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(out)
+}
+
+func runScenario(out io.Writer, seed int64) error {
+	cfg := experiments.DefaultComposedConfig()
+	cfg.SLA.Seed = seed
+	res, err := experiments.RunComposedStudy(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(out)
 }
 
 func runPreempt(out io.Writer, seed int64) error {
@@ -268,8 +302,8 @@ func runAdaptive(out io.Writer, seed int64, csvDir string) error {
 	return nil
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `usage: greensched <command> [flags]
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: greensched <command> [flags]
 
 commands:
   placement   §IV-A workload placement: Table I, Figures 2-5, Table II
@@ -281,8 +315,9 @@ commands:
   carbon      carbon-blind vs carbon-aware scheduling (-days N [-burst N])
   sla         deadline/value-aware scheduling: energy-only vs SLA-aware vs SLA+carbon
   preempt     checkpoint/restart preemption vs express-boot-only for urgent work
+  scenario    composed module stack: carbon + SLA + preemption + budget in one run
   replay      schedule an external trace (-trace FILE [-policy P])
-  all         run every experiment
+  all         run every study (replicate and replay excluded)
 
 flags:
   -seed N     deterministic simulation seed (default 1)

@@ -89,15 +89,54 @@ func TestPreemptCommandSmoke(t *testing.T) {
 	}
 }
 
+// TestScenarioCommandSmoke runs the composed module-stack study
+// end-to-end through the CLI dispatch and checks the headline report
+// renders.
+func TestScenarioCommandSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"scenario", "-seed", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"CARBON-BLIND", "COMPOSED", "Victim misses", "Budget", "metered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestUnknownCommandAndMissingArgs(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{}, &b); err != errUsage {
 		t.Errorf("no args: %v, want errUsage", err)
 	}
-	if err := run([]string{"frobnicate"}, &b); err != errUsage {
-		t.Errorf("unknown command: %v, want errUsage", err)
+	// An unknown subcommand must not fall through silently: the error
+	// names the command the user typed.
+	err := run([]string{"frobnicate"}, &b)
+	if err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err == errUsage {
+		t.Error("unknown command collapsed into the bare usage error")
+	}
+	if !strings.Contains(err.Error(), `"frobnicate"`) {
+		t.Errorf("unknown-command error %q does not name the command", err)
 	}
 	if err := run([]string{"replay"}, &b); err == nil {
 		t.Error("replay without -trace must fail")
+	}
+}
+
+// TestUsageListsScenarioCommand keeps the help text in sync with the
+// run() switch: the composed-stack subcommand is documented.
+func TestUsageListsScenarioCommand(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"help"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scenario", "carbon + SLA + preemption + budget"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("usage text missing %q:\n%s", want, b.String())
+		}
 	}
 }

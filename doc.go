@@ -12,9 +12,13 @@
 //	internal/core           the paper's contribution (GreenPerf, Eq. 1-6, Algorithm 1)
 //	                        plus the carbon-aware ranking extensions
 //	internal/middleware     live DIET-style hierarchy (in-process and TCP)
-//	internal/sim            deterministic discrete-event simulator with a
-//	                        generic power-management control hook and
-//	                        per-node CO2 accounting
+//	internal/sim            deterministic discrete-event simulator with
+//	                        per-node CO2 accounting and the composable
+//	                        sim.Module extension stack (NewScenario +
+//	                        functional options); carbon accounting, SLA
+//	                        machinery, preemption, power controllers,
+//	                        budget tracking and thermal monitoring all
+//	                        mount as stackable modules
 //	internal/carbon         grid carbon-intensity signals, site profiles
 //	                        and the joules→grams integrator
 //	internal/sla            SLA classes (deadline, value, penalty curve),
@@ -23,8 +27,9 @@
 //	                        ledger
 //	internal/consolidation  related-work baseline (concentration + idle
 //	                        shutdown) and the carbon-window controller,
-//	                        both guarded by pending deadline slack and
-//	                        able to preempt batch for urgent work
+//	                        both guarded by pending deadline slack, able
+//	                        to preempt batch for urgent work, and
+//	                        mountable as a consolidation.Module
 //	internal/analysis       Student-t / Welch statistics for multi-seed replication
 //	internal/experiments    one harness per table/figure + extension studies
 //	cmd/greensched          CLI to regenerate the evaluation

@@ -1,0 +1,120 @@
+package carbon
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// The testdata fixture is a 48-hour hourly intensity trace in the
+// electricityMap/WattTime feed style: a solar-heavy grid, cleanest
+// around 13:00, with realistic measurement wobble on top of the
+// diurnal shape. The tests below are the ROADMAP's "ingest real grid
+// traces and validate the diurnal model against them" follow-on.
+
+func loadFixture(t *testing.T) *Trace {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "grid_hourly.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := ParseTrace("grid-hourly", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGridFixtureParses(t *testing.T) {
+	tr := loadFixture(t)
+	points := tr.Points()
+	if len(points) != 48 {
+		t.Fatalf("fixture has %d points, want 48 hourly samples", len(points))
+	}
+	for i, p := range points {
+		if p.T != float64(i)*3600 {
+			t.Errorf("point %d at %v s, want hourly grid", i, p.T)
+		}
+		if p.G <= 0 || p.G > 700 {
+			t.Errorf("hour %d intensity %v outside a plausible grid range", i, p.G)
+		}
+		if p.R < 0 || p.R > 1 {
+			t.Errorf("hour %d renewable fraction %v outside [0,1]", i, p.R)
+		}
+	}
+}
+
+// TestGridFixtureRoundTrips: WriteTrace → ParseTrace reproduces the
+// identical samples.
+func TestGridFixtureRoundTrips(t *testing.T) {
+	tr := loadFixture(t)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace("grid-hourly", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Points(), back.Points()) {
+		t.Error("round-tripped trace diverges from the fixture")
+	}
+}
+
+// TestDiurnalModelTracksGridFixture: the analytic diurnal model with
+// the fixture's nominal parameters stays inside a measurement-noise
+// band of the recorded trace, hour for hour — the sanity check that
+// the simulator's synthetic grids stand in for real feeds.
+func TestDiurnalModelTracksGridFixture(t *testing.T) {
+	tr := loadFixture(t)
+	model := Diurnal{MeanG: 300, AmplitudeG: 250, CleanHour: 13,
+		RenewableMin: 0.05, RenewableMax: 0.8}
+	if err := model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const bandG = 50 // generous bound on the fixture's wobble (max ≈ 37)
+	for h := 0; h < 48; h++ {
+		at := float64(h) * 3600
+		got, want := tr.IntensityAt(at), model.IntensityAt(at)
+		if math.Abs(got-want) > bandG {
+			t.Errorf("hour %d: trace %.1f g/kWh departs from diurnal %.1f by more than %v", h, got, want, bandG)
+		}
+	}
+	// The long-run means agree within a few percent: the wobble is
+	// noise, not bias.
+	traceMean := tr.MeanIntensity(0, 48*3600)
+	modelMean := model.MeanIntensity(0, 48*3600)
+	if math.Abs(traceMean-modelMean) > 0.05*modelMean {
+		t.Errorf("trace mean %.1f departs from diurnal mean %.1f by more than 5%%", traceMean, modelMean)
+	}
+	// And the trace's cleanest hour lands where the model says the
+	// sun does (13:00 ± 2 h on each day).
+	for day := 0; day < 2; day++ {
+		minH, minG := -1, math.Inf(1)
+		for h := 0; h < 24; h++ {
+			if g := tr.IntensityAt(float64(day*24+h) * 3600); g < minG {
+				minG, minH = g, h
+			}
+		}
+		if minH < 11 || minH > 15 {
+			t.Errorf("day %d cleanest hour %d, want 13±2", day, minH)
+		}
+	}
+}
+
+// TestGridFixtureDrivesSiteProfile: the trace mounts as a site signal
+// exactly like the synthetic models do.
+func TestGridFixtureDrivesSiteProfile(t *testing.T) {
+	tr := loadFixture(t)
+	p := MustProfile(SiteProfile{Site: "recorded", Signal: tr})
+	if g := p.IntensityAt("any-cluster", 13*3600); g > 150 {
+		t.Errorf("recorded clean-hour intensity %v, want a clean grid", g)
+	}
+	if r := p.RenewableAt("any-cluster", 13*3600); r < 0.5 {
+		t.Errorf("recorded clean-hour renewable fraction %v, want solar-heavy", r)
+	}
+}

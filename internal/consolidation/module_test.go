@@ -1,0 +1,87 @@
+package consolidation
+
+import (
+	"testing"
+
+	"greensched/internal/cluster"
+	"greensched/internal/power"
+	"greensched/internal/sched"
+	"greensched/internal/sim"
+	"greensched/internal/workload"
+)
+
+func TestModuleInitValidatesController(t *testing.T) {
+	if err := (&Module{}).Init(nil); err == nil {
+		t.Error("nil controller accepted")
+	}
+	bad := &Module{Controller: &Controller{IdleTimeout: -1, MinOn: 1}}
+	if err := bad.Init(nil); err == nil {
+		t.Error("invalid controller accepted")
+	}
+	ok := &Module{Controller: &Controller{IdleTimeout: 10, MinOn: 1}}
+	if err := ok.Init(nil); err != nil {
+		t.Errorf("valid controller rejected: %v", err)
+	}
+}
+
+func TestModuleTickDelegates(t *testing.T) {
+	// A drained, long-idle node must be shut down through the module
+	// path exactly as through the legacy OnControl hook.
+	ctl := &fakeControl{nodes: []sim.NodeView{
+		{Name: "a", State: power.On, Slots: 2, Idle: 500, Candidate: true},
+		{Name: "b", State: power.On, Slots: 2, Idle: 500, Candidate: true},
+	}}
+	m := &Module{Controller: &Controller{IdleTimeout: 300, MinOn: 1}}
+	if err := m.Init(nil); err != nil {
+		t.Fatal(err)
+	}
+	m.OnTick(1000, ctl)
+	if len(ctl.offs) != 1 {
+		t.Fatalf("module tick powered off %v, want exactly one node", ctl.offs)
+	}
+}
+
+// TestModulePathMatchesLegacyHook runs the identical consolidation
+// scenario once through Config.OnControl and once as a Module and
+// requires the byte-identical Result — the controller cannot tell
+// which mount it runs on.
+func TestModulePathMatchesLegacyHook(t *testing.T) {
+	tasks, err := workload.BurstThenRate{Total: 30, Burst: 6, Rate: 0.02, Ops: 4e11}.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform := func() *cluster.Platform {
+		return cluster.MustPlatform(cluster.NewNodes("taurus", 2), cluster.NewNodes("sagittaire", 2))
+	}
+	run := func(modular bool) *sim.Result {
+		ctl := &Controller{IdleTimeout: 60, MinOn: 1}
+		cfg := sim.Config{
+			Platform:     platform(),
+			Policy:       sched.New(sched.GreenPerf),
+			Tasks:        tasks,
+			Explore:      true,
+			Seed:         11,
+			ControlEvery: 30,
+		}
+		if modular {
+			cfg.Modules = []sim.Module{&Module{Controller: ctl}}
+		} else {
+			cfg.OnControl = ctl.Tick
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	legacy, mod := run(false), run(true)
+	if legacy.EnergyJ != mod.EnergyJ || legacy.Makespan != mod.Makespan ||
+		legacy.Boots != mod.Boots || legacy.Shutdowns != mod.Shutdowns {
+		t.Fatalf("module path diverged from legacy hook:\nlegacy: E=%v makespan=%v boots=%d shutdowns=%d\nmodule: E=%v makespan=%v boots=%d shutdowns=%d",
+			legacy.EnergyJ, legacy.Makespan, legacy.Boots, legacy.Shutdowns,
+			mod.EnergyJ, mod.Makespan, mod.Boots, mod.Shutdowns)
+	}
+	if mod.Shutdowns == 0 {
+		t.Error("scenario never exercised the controller (no shutdowns)")
+	}
+}

@@ -187,28 +187,30 @@ func RunCarbonStudy(cfg CarbonConfig) (*CarbonResult, error) {
 		return nil, fmt.Errorf("experiments: carbon workload: %w", err)
 	}
 
-	base := sim.Config{
-		Platform: platform,
-		Tasks:    tasks,
-		Explore:  true,
-		Seed:     cfg.Seed,
-		Carbon:   profile,
-	}
-
-	alwaysOn := base
-	alwaysOn.Policy = sched.New(sched.GreenPerf)
+	// Each configuration is one module stack over the identical
+	// platform and schedule; the carbon accounting module is common,
+	// the controllers differ.
+	alwaysOn := sim.NewScenario(platform, tasks,
+		sim.WithPolicy(sched.New(sched.GreenPerf)),
+		sim.WithExplore(),
+		sim.WithSeed(cfg.Seed),
+		sim.WithModules(&sim.CarbonModule{Profile: profile}),
+	)
 
 	idleCtl := &consolidation.Controller{IdleTimeout: cfg.IdleTimeout, MinOn: cfg.MinOn}
 	if cfg.MinOn < 1 {
 		idleCtl.MinOn = 1 // the blind controller requires a serving floor
 	}
-	if err := idleCtl.Validate(); err != nil {
-		return nil, err
-	}
-	idle := base
-	idle.Policy = sched.New(sched.GreenPerf)
-	idle.OnControl = idleCtl.Tick
-	idle.ControlEvery = cfg.TickSec
+	idle := sim.NewScenario(platform, tasks,
+		sim.WithPolicy(sched.New(sched.GreenPerf)),
+		sim.WithExplore(),
+		sim.WithSeed(cfg.Seed),
+		sim.WithTick(cfg.TickSec),
+		sim.WithModules(
+			&sim.CarbonModule{Profile: profile},
+			&consolidation.Module{Controller: idleCtl},
+		),
+	)
 
 	awareCtl := &consolidation.CarbonController{
 		Profile:     profile,
@@ -218,14 +220,17 @@ func RunCarbonStudy(cfg CarbonConfig) (*CarbonResult, error) {
 		MinOn:       cfg.MinOn,
 		MaxDeferSec: cfg.MaxDeferSec,
 	}
-	if err := awareCtl.Validate(); err != nil {
-		return nil, err
-	}
-	aware := base
-	aware.Policy = sched.New(sched.Carbon)
-	aware.OnControl = awareCtl.Tick
-	aware.ControlEvery = cfg.TickSec
-	aware.RetryEvery = 60
+	aware := sim.NewScenario(platform, tasks,
+		sim.WithPolicy(sched.New(sched.Carbon)),
+		sim.WithExplore(),
+		sim.WithSeed(cfg.Seed),
+		sim.WithTick(cfg.TickSec),
+		sim.WithRetryEvery(60),
+		sim.WithModules(
+			&sim.CarbonModule{Profile: profile},
+			&consolidation.Module{Controller: awareCtl},
+		),
+	)
 
 	out := &CarbonResult{Config: cfg, PerSiteCO2: make(map[string]float64)}
 	for _, c := range []struct {

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"greensched/internal/budget"
+	"greensched/internal/consolidation"
+	"greensched/internal/core"
+	"greensched/internal/report"
+	"greensched/internal/sched"
+	"greensched/internal/sim"
+	"greensched/internal/sla"
+)
+
+// ComposedConfig parameterizes the composition study — the proof that
+// the sim.Module stack is a real extension surface, not three features
+// that happen to coexist: carbon accounting, the full SLA machinery,
+// checkpoint/restart preemption, the carbon-window controller and an
+// energy-budget tracker all mount on ONE run, with no glue code
+// between them.
+//
+// The scenario is the SLA study's evening mix with the interactive
+// deadline tightened below a batch task's execution time, so that
+// queue-wait math provably breaches it while an immediate start does
+// not — the condition under which the arrival path checkpoints a
+// running batch task in place. Two configurations replay the identical
+// schedule:
+//
+//	CARBON-BLIND   GreenPerf always-on, FIFO, admits everything; the
+//	               carbon and SLA modules only keep the books
+//	COMPOSED       carbon-ranked placement + candidacy windows + EDF +
+//	               admission + express lane + preemption + budget
+//	               metering, stacked as five modules in one run
+type ComposedConfig struct {
+	// SLA is the underlying evening-mix scenario and controller knobs
+	// (its Seed drives both runs).
+	SLA SLAConfig
+
+	// InteractiveRelSec overrides the SLA scenario's interactive
+	// deadline; it must sit below a batch task's execution time for
+	// the preemption path to fire.
+	InteractiveRelSec float64
+
+	// RestartPenaltyFrac is the checkpoint quality (0 = perfect).
+	RestartPenaltyFrac float64
+
+	// BudgetJ is the attributed-energy budget (joules of per-task
+	// energy share) the tracker meters over BudgetHorizonSec; the
+	// default is generous — the study asserts exact metering, and the
+	// module steers elections only if consumption outruns the linear
+	// burn-down.
+	BudgetJ          float64
+	BudgetHorizonSec float64
+}
+
+// DefaultComposedConfig returns the calibrated scenario: the SLA
+// study's evening mix, with the interactive stream stretched to one
+// arrival every ten minutes for twenty hours so it keeps arriving
+// while the deferred batch saturates the clean-window capacity — the
+// collision the preemption module resolves in place.
+func DefaultComposedConfig() ComposedConfig {
+	s := DefaultSLAConfig()
+	s.InteractiveTasks = 120
+	s.InteractiveEvery = 600
+	// One slot per node: an urgent arrival's wait is one full batch
+	// remainder (uniform over ≈400 s), which regularly exceeds its
+	// ≈170 s of slack — queueing alone cannot save it, preemption can.
+	s.SlotsPerNode = 1
+	// Keep a serving floor powered: the express stream never pays a
+	// boot transient, and at window-open the deferred batch spreads
+	// across warm capacity instead of clumping onto the single
+	// express-boot node — which is what makes every node saturated
+	// when the interactive stream collides with it.
+	s.MinOn = 4
+	return ComposedConfig{
+		SLA:                s,
+		InteractiveRelSec:  180, // below a ≈400 s batch execution
+		RestartPenaltyFrac: 0.1,
+		BudgetJ:            600e6,
+		BudgetHorizonSec:   s.MakespanBound(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c ComposedConfig) Validate() error {
+	if err := c.SLA.Validate(); err != nil {
+		return err
+	}
+	if c.InteractiveRelSec <= 0 {
+		return fmt.Errorf("experiments: composed study needs a positive interactive deadline")
+	}
+	if c.BudgetJ <= 0 || c.BudgetHorizonSec <= 0 {
+		return fmt.Errorf("experiments: composed study needs a positive budget and horizon")
+	}
+	return (sla.Preemption{RestartPenaltyFrac: c.RestartPenaltyFrac}).Validate()
+}
+
+// scenario returns the SLA config with the interactive deadline
+// override applied — the schedule both runs replay.
+func (c ComposedConfig) scenario() SLAConfig {
+	s := c.SLA
+	s.InteractiveRelSec = c.InteractiveRelSec
+	return s
+}
+
+// ComposedRun is one configuration's outcome.
+type ComposedRun struct {
+	Name     string
+	EnergyJ  float64
+	CO2Grams float64
+	Makespan float64
+
+	EarnedUSD    float64
+	ForfeitedUSD float64
+	PenaltyUSD   float64
+	Misses       int
+	Rejected     int
+
+	Boots       int
+	Shutdowns   int
+	Preemptions int
+	RedoneOps   float64
+
+	// VictimMisses counts completions that were preempted at least
+	// once and still finished past their own deadline — breaches the
+	// composition itself would be guilty of. The safety calculus keeps
+	// this at zero.
+	VictimMisses int
+
+	// TaskShareJ sums every completed task's attributed energy share;
+	// BudgetSpentJ is what the budget tracker metered. The two must
+	// agree to the last charge (asserted in the study's test).
+	TaskShareJ   float64
+	BudgetSpentJ float64
+}
+
+// NetUSD returns earned minus contractual penalties.
+func (r ComposedRun) NetUSD() float64 { return r.EarnedUSD - r.PenaltyUSD }
+
+// Names of the compared configurations.
+const (
+	ComposedRunBlind = "CARBON-BLIND"
+	ComposedRunFull  = "COMPOSED"
+)
+
+// ComposedResult bundles the compared configurations.
+type ComposedResult struct {
+	Config ComposedConfig
+	Runs   []ComposedRun // fixed order: CARBON-BLIND, COMPOSED
+}
+
+// Run returns the named configuration's outcome, or false.
+func (r *ComposedResult) Run(name string) (ComposedRun, bool) {
+	for _, run := range r.Runs {
+		if run.Name == name {
+			return run, true
+		}
+	}
+	return ComposedRun{}, false
+}
+
+// RunComposedStudy executes both configurations on the identical
+// schedule, platform and grid profile.
+func RunComposedStudy(cfg ComposedConfig) (*ComposedResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	scen := cfg.scenario()
+	tasks, err := scen.Tasks()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: composed workload: %w", err)
+	}
+	profile := scen.Profile()
+	catalog := sla.DefaultCatalog()
+	admission := &sla.Admission{Margin: scen.AdmissionMargin}
+
+	out := &ComposedResult{Config: cfg}
+	for _, variant := range []struct {
+		name string
+		full bool
+	}{
+		{ComposedRunBlind, false},
+		{ComposedRunFull, true},
+	} {
+		plat := slaPlatform()
+		var mods []sim.Module
+		var tracker *budget.Tracker
+		opts := []sim.Option{
+			sim.WithExplore(),
+			sim.WithSeed(scen.Seed),
+			sim.WithSlotsPerNode(scen.SlotsPerNode),
+		}
+		if variant.full {
+			tracker, err = budget.NewTracker(cfg.BudgetJ, cfg.BudgetHorizonSec)
+			if err != nil {
+				return nil, err
+			}
+			mods = []sim.Module{
+				&sim.CarbonModule{Profile: profile},
+				// Budget before SLA: if steering ever engages, the
+				// deadline-feasibility screen below wraps the steered
+				// ranking instead of being replaced by it.
+				&budget.Module{Tracker: tracker, Steer: true, Base: core.PrefNone},
+				&sim.SLAModule{
+					Config: &sla.Config{
+						Catalog: catalog, Admission: admission,
+						Order: sched.NewOrder(sched.EDF), UrgentBypass: true,
+					},
+					WrapDeadline: true,
+				},
+				&sim.PreemptModule{Preemption: &sla.Preemption{RestartPenaltyFrac: cfg.RestartPenaltyFrac}},
+				&consolidation.Module{Controller: &consolidation.CarbonController{
+					Profile:          profile,
+					CleanG:           scen.CleanG,
+					DirtyG:           scen.DirtyG,
+					IdleTimeout:      scen.IdleTimeout,
+					MinOn:            scen.MinOn,
+					MaxDeferSec:      scen.MaxDeferSec,
+					DeadlineSlackSec: scen.DeadlineSlackSec,
+					PreemptBatch:     true,
+				}},
+			}
+			opts = append(opts,
+				sim.WithPolicy(sched.New(sched.Carbon)),
+				sim.WithTick(scen.TickSec),
+				// Longer than any boot transient (and off the 300 s tick
+				// grid): when a candidacy window opens and dark capacity
+				// boots, the deferred batch's next retry wave lands after
+				// every boot completes, so it spreads across all warm
+				// nodes instead of clumping onto whichever booted first.
+				sim.WithRetryEvery(510),
+			)
+		} else {
+			mods = []sim.Module{
+				&sim.CarbonModule{Profile: profile},
+				&sim.SLAModule{Config: &sla.Config{Catalog: catalog}},
+			}
+			opts = append(opts, sim.WithPolicy(sched.New(sched.GreenPerf)))
+		}
+		opts = append(opts, sim.WithModules(mods...))
+		res, err := sim.Run(sim.NewScenario(plat, tasks, opts...))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: composed %s: %w", variant.name, err)
+		}
+		run := ComposedRun{
+			Name:        variant.name,
+			EnergyJ:     float64(res.EnergyJ),
+			CO2Grams:    res.CO2Grams,
+			Makespan:    res.Makespan,
+			Misses:      res.DeadlineMisses,
+			Rejected:    res.Rejected,
+			Boots:       res.Boots,
+			Shutdowns:   res.Shutdowns,
+			Preemptions: res.Preemptions,
+			RedoneOps:   res.PreemptRedoneOps,
+		}
+		if res.SLA != nil {
+			run.EarnedUSD = res.SLA.EarnedUSD
+			run.ForfeitedUSD = res.SLA.ForfeitedUSD
+			run.PenaltyUSD = res.SLA.PenaltyUSD
+		}
+		for _, rec := range res.Records {
+			run.TaskShareJ += rec.EnergyShareJ
+			if rec.Preemptions > 0 && rec.Deadline > 0 && rec.Finish > rec.Deadline {
+				run.VictimMisses++
+			}
+		}
+		if tracker != nil {
+			run.BudgetSpentJ = tracker.Spent()
+		}
+		out.Runs = append(out.Runs, run)
+	}
+	return out, nil
+}
+
+// Table renders the comparison.
+func (r *ComposedResult) Table() *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Composed module stack: %d batch + %d deadline (+%d hopeless) + %d interactive (%.0f s deadline) from %02.0f:00",
+			r.Config.SLA.BatchTasks, r.Config.SLA.DeadlineTasks, r.Config.SLA.HopelessTasks,
+			r.Config.SLA.InteractiveTasks, r.Config.InteractiveRelSec, r.Config.SLA.StartHour),
+		Headers: []string{"Configuration", "Net ($)", "Late", "Rejected", "Preempts",
+			"Victim misses", "Energy (MJ)", "CO2 (g)", "Budget (MJ)", "Makespan (h)"},
+	}
+	for _, run := range r.Runs {
+		budgetCell := "-"
+		if run.BudgetSpentJ > 0 {
+			budgetCell = fmt.Sprintf("%.2f", run.BudgetSpentJ/1e6)
+		}
+		t.AddRow(run.Name,
+			fmt.Sprintf("%.2f", run.NetUSD()),
+			fmt.Sprintf("%d", run.Misses),
+			fmt.Sprintf("%d", run.Rejected),
+			fmt.Sprintf("%d", run.Preemptions),
+			fmt.Sprintf("%d", run.VictimMisses),
+			fmt.Sprintf("%.2f", run.EnergyJ/1e6),
+			fmt.Sprintf("%.0f", run.CO2Grams),
+			budgetCell,
+			fmt.Sprintf("%.1f", run.Makespan/3600),
+		)
+	}
+	return t
+}
+
+// Render writes the table plus the composition's headline invariants.
+func (r *ComposedResult) Render(w io.Writer) error {
+	if err := r.Table().Render(w); err != nil {
+		return err
+	}
+	blind, ok1 := r.Run(ComposedRunBlind)
+	full, ok2 := r.Run(ComposedRunFull)
+	if !ok1 || !ok2 {
+		return nil
+	}
+	fmt.Fprintf(w, "\n%s stacks carbon + SLA + preemption + budget in one run: %.1f%% less CO2 than %s, net $%.2f vs $%.2f, %d preemptions with %d victim deadlines broken\n",
+		ComposedRunFull, (1-full.CO2Grams/blind.CO2Grams)*100, ComposedRunBlind,
+		full.NetUSD(), blind.NetUSD(), full.Preemptions, full.VictimMisses)
+	fmt.Fprintf(w, "budget tracker metered %.2f MJ of task energy against a %.2f MJ budget (task shares sum to %.2f MJ)\n",
+		full.BudgetSpentJ/1e6, r.Config.BudgetJ/1e6, full.TaskShareJ/1e6)
+	return nil
+}

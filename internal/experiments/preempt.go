@@ -212,24 +212,26 @@ func RunPreemptionStudy(cfg PreemptionConfig) (*PreemptionResult, error) {
 			DeadlineSlackSec: cfg.DeadlineSlackSec,
 			PreemptBatch:     variant.preempt,
 		}
-		if err := ctl.Validate(); err != nil {
-			return nil, err
-		}
-		simCfg := sim.Config{
-			Platform:     cluster.MustPlatform(cluster.NewNodes("taurus", cfg.Nodes)),
-			Policy:       sched.New(sched.GreenPerf),
-			Tasks:        tasks,
-			Static:       true, // deterministic placement: the contrast is the controller, not learning noise
-			Seed:         cfg.Seed,
-			SlotsPerNode: cfg.SlotsPerNode,
-			SLA:          &sla.Config{Catalog: cfg.Catalog(), Order: sched.NewOrder(sched.EDF)},
-			OnControl:    ctl.Tick,
-			ControlEvery: cfg.TickSec,
-			RetryEvery:   30,
+		mods := []sim.Module{
+			&sim.SLAModule{Config: &sla.Config{Catalog: cfg.Catalog(), Order: sched.NewOrder(sched.EDF)}},
 		}
 		if variant.preempt {
-			simCfg.Preemption = &sla.Preemption{RestartPenaltyFrac: cfg.RestartPenaltyFrac}
+			mods = append(mods, &sim.PreemptModule{
+				Preemption: &sla.Preemption{RestartPenaltyFrac: cfg.RestartPenaltyFrac},
+			})
 		}
+		mods = append(mods, &consolidation.Module{Controller: ctl})
+		simCfg := sim.NewScenario(
+			cluster.MustPlatform(cluster.NewNodes("taurus", cfg.Nodes)),
+			tasks,
+			sim.WithPolicy(sched.New(sched.GreenPerf)),
+			sim.WithStatic(), // deterministic placement: the contrast is the controller, not learning noise
+			sim.WithSeed(cfg.Seed),
+			sim.WithSlotsPerNode(cfg.SlotsPerNode),
+			sim.WithTick(cfg.TickSec),
+			sim.WithRetryEvery(30),
+			sim.WithModules(mods...),
+		)
 		res, err := sim.Run(simCfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: preemption %s: %w", variant.name, err)

@@ -253,17 +253,24 @@ func (r *SLAResult) Run(name string) (SLARun, bool) {
 	return SLARun{}, false
 }
 
+// slaPlatform is the trimmed Table I platform the SLA-family studies
+// share: two nodes per cluster — real placement choices across both
+// grid sites without the idle floor drowning the workload energy.
+func slaPlatform() *cluster.Platform {
+	return cluster.MustPlatform(
+		cluster.NewNodes("orion", 2),
+		cluster.NewNodes("sagittaire", 2),
+		cluster.NewNodes("taurus", 2),
+	)
+}
+
 // RunSLAStudy executes the three configurations on the identical
 // schedule, platform and grid profile.
 func RunSLAStudy(cfg SLAConfig) (*SLAResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	platform := cluster.MustPlatform(
-		cluster.NewNodes("orion", 2),
-		cluster.NewNodes("sagittaire", 2),
-		cluster.NewNodes("taurus", 2),
-	)
+	platform := slaPlatform()
 	profile := cfg.Profile()
 	tasks, err := cfg.Tasks()
 	if err != nil {
@@ -271,31 +278,39 @@ func RunSLAStudy(cfg SLAConfig) (*SLAResult, error) {
 	}
 	catalog := sla.DefaultCatalog()
 
-	base := sim.Config{
-		Platform:     platform,
-		Tasks:        tasks,
-		Explore:      true,
-		Seed:         cfg.Seed,
-		Carbon:       profile,
-		SlotsPerNode: cfg.SlotsPerNode,
-	}
-
 	// ENERGY-ONLY: the paper's GreenPerf placement, always-on (the
-	// §IV-B baseline), FIFO queues, admits everything; the SLA config
+	// §IV-B baseline), FIFO queues, admits everything; the SLA module
 	// only keeps the ledger, so revenue loss is measured on identical
 	// scheduling behaviour.
-	only := base
-	only.Policy = sched.New(sched.GreenPerf)
-	only.SLA = &sla.Config{Catalog: catalog}
+	only := sim.NewScenario(platform, tasks,
+		sim.WithPolicy(sched.New(sched.GreenPerf)),
+		sim.WithExplore(),
+		sim.WithSeed(cfg.Seed),
+		sim.WithSlotsPerNode(cfg.SlotsPerNode),
+		sim.WithModules(
+			&sim.CarbonModule{Profile: profile},
+			&sim.SLAModule{Config: &sla.Config{Catalog: catalog}},
+		),
+	)
 
 	// SLA-AWARE: deadline-aware placement over the same GreenPerf
-	// base, EDF queues, admission control — same always-on platform,
-	// so the delta is purely the SLA machinery.
+	// base (SLAModule.WrapDeadline), EDF queues, admission control —
+	// same always-on platform, so the delta is purely the SLA
+	// machinery.
 	admission := &sla.Admission{Margin: cfg.AdmissionMargin}
-	aware := base
-	aware.Policy = sched.New(sched.GreenPerf)
-	aware.PolicyFunc = deadlinePolicyFunc(sched.New(sched.GreenPerf), catalog)
-	aware.SLA = &sla.Config{Catalog: catalog, Admission: admission, Order: sched.NewOrder(sched.EDF)}
+	aware := sim.NewScenario(platform, tasks,
+		sim.WithPolicy(sched.New(sched.GreenPerf)),
+		sim.WithExplore(),
+		sim.WithSeed(cfg.Seed),
+		sim.WithSlotsPerNode(cfg.SlotsPerNode),
+		sim.WithModules(
+			&sim.CarbonModule{Profile: profile},
+			&sim.SLAModule{
+				Config:       &sla.Config{Catalog: catalog, Admission: admission, Order: sched.NewOrder(sched.EDF)},
+				WrapDeadline: true,
+			},
+		),
+	)
 
 	// SLA+CARBON: carbon-ranked placement and candidacy windows on top
 	// of the full SLA stack; deadline traffic rides the express lane
@@ -309,19 +324,25 @@ func RunSLAStudy(cfg SLAConfig) (*SLAResult, error) {
 		MaxDeferSec:      cfg.MaxDeferSec,
 		DeadlineSlackSec: cfg.DeadlineSlackSec,
 	}
-	if err := carbonCtl.Validate(); err != nil {
-		return nil, err
-	}
-	green := base
-	green.Policy = sched.New(sched.Carbon)
-	green.PolicyFunc = deadlinePolicyFunc(sched.New(sched.Carbon), catalog)
-	green.OnControl = carbonCtl.Tick
-	green.ControlEvery = cfg.TickSec
-	green.RetryEvery = 60
-	green.SLA = &sla.Config{
-		Catalog: catalog, Admission: admission,
-		Order: sched.NewOrder(sched.EDF), UrgentBypass: true,
-	}
+	green := sim.NewScenario(platform, tasks,
+		sim.WithPolicy(sched.New(sched.Carbon)),
+		sim.WithExplore(),
+		sim.WithSeed(cfg.Seed),
+		sim.WithSlotsPerNode(cfg.SlotsPerNode),
+		sim.WithTick(cfg.TickSec),
+		sim.WithRetryEvery(60),
+		sim.WithModules(
+			&sim.CarbonModule{Profile: profile},
+			&sim.SLAModule{
+				Config: &sla.Config{
+					Catalog: catalog, Admission: admission,
+					Order: sched.NewOrder(sched.EDF), UrgentBypass: true,
+				},
+				WrapDeadline: true,
+			},
+			&consolidation.Module{Controller: carbonCtl},
+		),
+	)
 
 	out := &SLAResult{Config: cfg}
 	for _, c := range []struct {
@@ -358,19 +379,6 @@ func RunSLAStudy(cfg SLAConfig) (*SLAResult, error) {
 		out.Runs = append(out.Runs, run)
 	}
 	return out, nil
-}
-
-// deadlinePolicyFunc builds the per-task election policy: tasks whose
-// resolved terms carry a deadline elect through the hard feasibility
-// screen; deferrable work keeps the base ordering.
-func deadlinePolicyFunc(basePolicy sched.Policy, catalog sla.Catalog) func(float64, workload.Task) sched.Policy {
-	return func(now float64, t workload.Task) sched.Policy {
-		terms := catalog.Resolve(t)
-		if terms.Deadline <= 0 {
-			return basePolicy
-		}
-		return sched.DeadlineAware{Base: basePolicy, Ops: t.Ops, Now: now, Deadline: terms.Deadline}
-	}
 }
 
 // Table renders the comparison.

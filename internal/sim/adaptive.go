@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sort"
 
 	"greensched/internal/cluster"
@@ -11,7 +12,6 @@ import (
 	"greensched/internal/provision"
 	"greensched/internal/sched"
 	"greensched/internal/simtime"
-	"greensched/internal/thermal"
 	"greensched/internal/workload"
 )
 
@@ -44,10 +44,22 @@ type AdaptiveConfig struct {
 	// current per-node draws and the *measured* hottest inlet
 	// temperature is written into the plan store as an unexpected
 	// record — heat events then emerge from load instead of being
-	// injected.
-	Thermal *thermal.Monitor
+	// injected. *thermal.Monitor satisfies the interface.
+	Thermal ThermalMonitor
 
 	Seed int64
+}
+
+// ThermalMonitor is the room-model surface the adaptive loop (and
+// thermal.Module) feed: per-node draws in, smoothed inlet temperatures
+// out. It is defined here rather than in package thermal so that
+// package thermal can depend on sim (for its Module) without a cycle.
+type ThermalMonitor interface {
+	// Update folds in the current per-node draws (watts, platform
+	// order) and returns the smoothed inlet temperatures.
+	Update(watts []float64) ([]float64, error)
+	// Max returns the hottest inlet temperature.
+	Max() float64
 }
 
 // AdaptiveSample is one Figure 9 measurement point.
@@ -101,6 +113,12 @@ func RunAdaptive(cfg AdaptiveConfig) (*AdaptiveResult, error) {
 	}
 	if cfg.SampleWindow <= 0 {
 		cfg.SampleWindow = cfg.Planner.CheckPeriod
+	}
+	// Thermal was a *thermal.Monitor before it became an interface; a
+	// typed-nil pointer must keep meaning "no room model" instead of
+	// passing the nil guard and panicking on the first measurement.
+	if v := reflect.ValueOf(cfg.Thermal); v.Kind() == reflect.Pointer && v.IsNil() {
+		cfg.Thermal = nil
 	}
 
 	r := &adaptiveRunner{

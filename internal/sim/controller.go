@@ -40,6 +40,10 @@ type NodeView struct {
 	BootW   float64
 	TaskW   float64
 
+	// PowerW is the node's instantaneous draw at the tick — the signal
+	// monitoring modules (e.g. a thermal room model) integrate.
+	PowerW float64
+
 	// QueuedAtRisk reports a queued deadline task that waiting for the
 	// node's running work would provably breach while an immediate
 	// start would still meet — the preemption trigger: queued work
@@ -137,6 +141,7 @@ func (c *runnerControl) Nodes() []NodeView {
 			BootSec:   spec.BootSec,
 			BootW:     float64(spec.BootW),
 			TaskW:     float64(spec.PeakW-spec.IdleW) / float64(spec.Cores),
+			PowerW:    sed.node.Power(),
 		}
 		if v.State == power.On && v.Running == 0 && v.Queued == 0 {
 			v.Idle = c.now - sed.idleAt
@@ -195,7 +200,7 @@ func (c *runnerControl) Running(name string) []RunningView {
 			Started:      rt.start,
 			RemainingSec: rt.finish.At.Seconds() - c.now,
 		}
-		if pre := c.r.cfg.Preemption; pre != nil {
+		if pre := c.r.pre; pre != nil {
 			done := c.r.doneOps(c.now, rt)
 			rv.RedoSec = sed.node.Spec.TaskSeconds(pre.RedoneOps(done))
 		}
@@ -206,7 +211,7 @@ func (c *runnerControl) Running(name string) []RunningView {
 }
 
 func (c *runnerControl) Preempt(name string, taskID int) error {
-	if c.r.cfg.Preemption == nil {
+	if c.r.pre == nil {
 		return fmt.Errorf("sim: Preempt of %s/%d with preemption disabled", name, taskID)
 	}
 	sed := c.r.sedByName(name)
@@ -348,14 +353,19 @@ func (r *Runner) sedByName(name string) *sedState {
 	return r.seds[idx]
 }
 
-// scheduleControl arms the recurring controller tick. Ticking stops
-// once every task has completed so the event queue can drain.
+// scheduleControl arms the recurring controller tick: every module's
+// OnTick runs in stack order against one shared Control surface (the
+// legacy Config.OnControl hook arrives here as an adapter). Ticking
+// stops once every task has resolved so the event queue can drain.
 func (r *Runner) scheduleControl(every float64) {
 	r.eng.After(every, "control", func(t simtime.Time) {
 		if r.resolved() >= len(r.cfg.Tasks) {
 			return
 		}
-		r.cfg.OnControl(t.Seconds(), &runnerControl{r: r, now: t.Seconds()})
+		ctl := &runnerControl{r: r, now: t.Seconds()}
+		for _, m := range r.mods {
+			m.OnTick(t.Seconds(), ctl)
+		}
 		r.scheduleControl(every)
 	})
 }

@@ -29,7 +29,7 @@ import (
 // the task's own curve, and a victim exists whose deadline survives
 // the restart.
 func (r *Runner) tryPreempt(now float64, sed *sedState, p pendingTask) bool {
-	if r.cfg.Preemption == nil || len(sed.running) == 0 {
+	if r.pre == nil || len(sed.running) == 0 {
 		return false
 	}
 	view := r.taskView(p.task)
@@ -155,9 +155,9 @@ func (r *Runner) preempt(now float64, sed *sedState, rt *runningTask) {
 		carriedJ:    rt.carriedJ + segJ,
 		carriedG:    rt.carriedG + segG,
 	}
-	p.task.Ops = r.cfg.Preemption.RemainingOps(rt.task.Ops, done)
+	p.task.Ops = r.pre.RemainingOps(rt.task.Ops, done)
 	r.res.Preemptions++
-	r.res.PreemptRedoneOps += r.cfg.Preemption.RedoneOps(done)
+	r.res.PreemptRedoneOps += r.pre.RedoneOps(done)
 	r.eng.After(0, "restart", func(t simtime.Time) { r.onArrival(t.Seconds(), p) })
 	if len(sed.running) == 0 && len(sed.queue) == 0 {
 		sed.idleAt = now
@@ -184,7 +184,7 @@ func (r *Runner) doneOps(now float64, rt *runningTask) float64 {
 // faster slot.
 func (r *Runner) restartRemainingSec(now float64, sed *sedState, rt *runningTask) float64 {
 	done := r.doneOps(now, rt)
-	return sed.node.Spec.TaskSeconds(r.cfg.Preemption.RemainingOps(rt.task.Ops, done))
+	return sed.node.Spec.TaskSeconds(r.pre.RemainingOps(rt.task.Ops, done))
 }
 
 // victimTerms resolves the terms preemption safety is judged against:

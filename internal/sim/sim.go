@@ -8,6 +8,13 @@
 // The simulator replaces the GRID'5000 testbed, not the scheduler: the
 // policy, selection and estimation code paths are the same ones the
 // live middleware (package middleware) uses.
+//
+// Cross-cutting concerns — carbon accounting, SLA machinery,
+// preemption, power-management controllers, budget tracking, thermal
+// monitoring — attach to a run as a stack of Module values
+// (Config.Modules, or NewScenario with functional options); see
+// module.go. The legacy one-slot Config hooks remain as thin adapters
+// onto that path.
 package sim
 
 import (
@@ -75,12 +82,26 @@ type Config struct {
 	// and resubmitted by the client.
 	Crashes map[string]float64
 
+	// Modules is the run's extension stack: every cross-cutting
+	// concern (carbon accounting, SLA machinery, preemption,
+	// power-management controllers, budget tracking, thermal
+	// monitoring) attaches as one Module, and any number of them
+	// compose in one run. Hooks run in stack order; see Module. The
+	// legacy one-slot fields below (Carbon, SLA, Preemption,
+	// PolicyFunc, OnFinish, OnControl) still work — NewRunner converts
+	// each into its equivalent module and prepends it to this stack —
+	// but new code should pass modules directly (or use NewScenario).
+	Modules []Module
+
 	// Carbon, when set, attaches a grid carbon-intensity profile to
 	// the platform: every node's exact energy accounting is integrated
 	// against its site's signal into grams of CO2 (Result.CO2Grams),
 	// and SEDs report their site's current intensity and renewable
 	// fraction in their estimation vectors so carbon-aware policies
 	// can rank on them.
+	//
+	// Deprecated: equivalent to appending &CarbonModule{Profile: …} to
+	// Modules; kept as a working adapter.
 	Carbon *carbon.Profile
 
 	// SampleEvery records a platform power sample every so many
@@ -90,6 +111,9 @@ type Config struct {
 	// OnFinish, when set, observes every completed task record as it
 	// happens (virtual time). External controllers — e.g. a budget
 	// tracker charging per-task energy — hook in here.
+	//
+	// Deprecated: equivalent to a Modules entry of
+	// &HookModule{OnFinishFunc: …}; kept as a working adapter.
 	OnFinish func(TaskRecord)
 
 	// OnControl, when set with ControlEvery > 0, runs every
@@ -97,6 +121,11 @@ type Config struct {
 	// platform: the hook for node power management policies such as
 	// idle-timeout consolidation (package consolidation). Ticks stop
 	// once all tasks complete.
+	//
+	// Deprecated: equivalent to a Modules entry of
+	// &HookModule{OnTickFunc: …}; kept as a working adapter.
+	// ControlEvery itself remains live — it is the tick cadence of
+	// every module's OnTick.
 	OnControl    func(now float64, ctl Control)
 	ControlEvery float64
 
@@ -113,6 +142,9 @@ type Config struct {
 	// their value), SED queues drain under the configured discipline
 	// (EDF, VALUE-DENSITY) instead of FIFO, and Result carries the
 	// revenue/penalty ledger plus per-task slack.
+	//
+	// Deprecated: equivalent to appending &SLAModule{Config: …} to
+	// Modules; kept as a working adapter.
 	SLA *sla.Config
 
 	// Preemption, when set, relaxes the run-to-completion invariant:
@@ -124,12 +156,20 @@ type Config struct {
 	// re-enters election with the remainder. A victim whose own
 	// deadline the restart would breach is never displaced
 	// (sla.SafeToDisplace). nil keeps tasks non-preemptible.
+	//
+	// Deprecated: equivalent to appending &PreemptModule{Preemption: …}
+	// to Modules; kept as a working adapter.
 	Preemption *sla.Preemption
 
 	// PolicyFunc, when set, builds the election policy per arriving
 	// task — the hook SLA-aware runs use to wrap Policy with
 	// sched.DeadlineAware or SLAWeightedPolicy for the task's own
 	// deadline. Config.Policy still names the run and serves retries.
+	//
+	// Deprecated: equivalent to a Modules entry whose WrapPolicy
+	// ignores its base (&HookModule{WrapPolicyFunc: …}), or to
+	// SLAModule.WrapDeadline for the deadline-aware case; kept as a
+	// working adapter.
 	PolicyFunc func(now float64, t workload.Task) sched.Policy
 }
 
@@ -252,7 +292,8 @@ type Result struct {
 	PreemptRedoneOps float64
 
 	// Boots and Shutdowns count controller-issued power transitions
-	// (zero unless Config.OnControl is set).
+	// (zero unless a module — or the legacy Config.OnControl hook —
+	// drives Control.PowerOn/PowerOff).
 	Boots     int
 	Shutdowns int
 
@@ -489,17 +530,28 @@ type Runner struct {
 	sel  *sched.Selector
 	res  *Result
 
+	// mods is the effective module stack: the legacy Config hooks
+	// converted into adapters, then Config.Modules.
+	mods []Module
+
 	lastFinish float64
 	unplaced   int // submitted tasks no server could accept yet
 	// waiting holds the unplaced tasks themselves (keyed by ID) so
 	// controllers can see the most urgent pending deadline.
 	waiting map[int]workload.Task
 
-	// SLA state: resolved terms per task ID, the revenue ledger, and
-	// the queue discipline (nil = FIFO).
-	terms  map[int]sla.Terms
-	ledger *sla.Ledger
-	order  sched.TaskOrder
+	// sla and pre are installed by SLAModule / PreemptModule Init (the
+	// legacy Config.SLA / Config.Preemption fields arrive here through
+	// their adapters).
+	sla *sla.Config
+	pre *sla.Preemption
+
+	// SLA state: the effective catalog, resolved terms per task ID,
+	// the revenue ledger, and the queue discipline (nil = FIFO).
+	catalog sla.Catalog
+	terms   map[int]sla.Terms
+	ledger  *sla.Ledger
+	order   sched.TaskOrder
 }
 
 // resolved counts tasks whose fate is settled (completed or rejected).
@@ -530,23 +582,6 @@ func NewRunner(cfg Config) (*Runner, error) {
 			PerClusterCO2:    make(map[string]float64),
 		},
 	}
-	if cfg.Preemption != nil {
-		if err := cfg.Preemption.Validate(); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.SLA != nil {
-		if err := cfg.SLA.Validate(); err != nil {
-			return nil, err
-		}
-		catalog := cfg.SLA.EffectiveCatalog()
-		r.terms = make(map[int]sla.Terms, len(cfg.Tasks))
-		for _, t := range cfg.Tasks {
-			r.terms[t.ID] = catalog.Resolve(t)
-		}
-		r.ledger = sla.NewLedger()
-		r.order = cfg.SLA.Order
-	}
 	r.sel = &sched.Selector{Policy: cfg.Policy, QueueFactor: cfg.QueueFactor, Explore: cfg.Explore, RankAll: cfg.RankAll}
 	for i, spec := range cfg.Platform.Nodes {
 		meter := power.NewWattmeter(0, cfg.Seed+int64(i)+1)
@@ -569,21 +604,29 @@ func NewRunner(cfg Config) (*Runner, error) {
 			cal := cluster.BenchmarkNode(spec, 1e9, 0, nil)
 			sed.static = &cal
 		}
-		if cfg.Carbon != nil {
-			site := cfg.Carbon.Site(spec.Cluster)
-			co2, err := carbon.NewIntegrator(site, 0)
-			if err != nil {
-				return nil, fmt.Errorf("sim: node %s: %w", spec.Name, err)
-			}
-			sed.site = &site
-			sed.co2 = co2
-			sed.node.OnSettle = func(_, to float64, w power.Watts) {
-				co2.Advance(to, w)
-			}
-		}
 		r.seds = append(r.seds, sed)
 	}
+	// The module stack attaches last, over fully built platform state:
+	// legacy one-slot hooks first (as adapters), then Config.Modules.
+	r.mods = cfg.modules()
+	for _, m := range r.mods {
+		if err := m.Init(r); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
+}
+
+// NodeNames returns the platform's node names in platform order — the
+// index space Control.Nodes reports in. Modules that carry per-node
+// state (e.g. a thermal matrix) validate their shape against it in
+// Init.
+func (r *Runner) NodeNames() []string {
+	out := make([]string, len(r.seds))
+	for i, sed := range r.seds {
+		out[i] = sed.node.Spec.Name
+	}
+	return out
 }
 
 // Run executes the simulation to completion and returns the result.
@@ -616,7 +659,7 @@ func (r *Runner) Run() (*Result, error) {
 	if r.cfg.SampleEvery > 0 {
 		r.scheduleSample(r.cfg.SampleEvery)
 	}
-	if r.cfg.OnControl != nil && r.cfg.ControlEvery > 0 {
+	if r.cfg.ControlEvery > 0 && len(r.mods) > 0 {
 		r.scheduleControl(r.cfg.ControlEvery)
 	}
 	// Budget: generous multiple of task count, to catch livelocks
@@ -633,32 +676,49 @@ func (r *Runner) Run() (*Result, error) {
 }
 
 func (r *Runner) onArrival(now float64, p pendingTask) {
-	// Admission screen: first submissions only — crash resubmissions,
-	// crash-migrated queued tasks, preemption restarts and retries were
-	// already admitted.
-	if r.cfg.SLA != nil && r.cfg.SLA.Admission != nil &&
-		!p.waiting && !p.admitted && p.resubmits == 0 && p.preemptions == 0 {
-		terms := r.terms[p.task.ID]
-		if r.cfg.SLA.Admission.Decide(now, r.bestExec(p.task.Ops), terms) == sla.Reject {
-			r.ledger.Reject(terms)
-			r.res.Rejected++
-			r.res.Rejections = append(r.res.Rejections, Rejection{
-				ID: p.task.ID, Class: terms.Class, ValueUSD: terms.ValueUSD, At: now,
-			})
-			return
+	// First submissions only (not retries, crash resubmissions,
+	// crash-migrated queued tasks or preemption restarts): modules
+	// observe the task, then the admission screen runs.
+	if !p.waiting && !p.admitted && p.resubmits == 0 && p.preemptions == 0 {
+		for _, m := range r.mods {
+			m.OnArrival(now, &p.task)
+		}
+		if r.sla != nil {
+			// Re-resolve the task's terms so OnArrival mutations
+			// (class, deadline, value) reach admission, the ledger and
+			// the queue discipline. Unmutated tasks resolve to the
+			// identical terms Init computed.
+			r.terms[p.task.ID] = r.catalog.Resolve(p.task)
+		}
+		if r.sla != nil && r.sla.Admission != nil {
+			terms := r.terms[p.task.ID]
+			if r.sla.Admission.Decide(now, r.bestExec(p.task.Ops), terms) == sla.Reject {
+				r.ledger.Reject(terms)
+				r.res.Rejected++
+				r.res.Rejections = append(r.res.Rejections, Rejection{
+					ID: p.task.ID, Class: terms.Class, ValueUSD: terms.ValueUSD, At: now,
+				})
+				return
+			}
 		}
 	}
 	// SLA express lane: deadline-carrying tasks may bypass candidacy
 	// windows (controllers defer only deferrable work through them).
-	bypass := r.cfg.SLA != nil && r.cfg.SLA.UrgentBypass && r.taskView(p.task).Deadline > 0
+	bypass := r.sla != nil && r.sla.UrgentBypass && r.taskView(p.task).Deadline > 0
 	list := make(estvec.List, 0, len(r.seds))
 	for _, sed := range r.seds {
 		list = append(list, sed.vectorFor(now, r.rng, bypass))
 	}
+	// Election policy: each module may wrap (or replace) the policy the
+	// previous one produced, starting from the run's base policy.
 	sel := r.sel
-	if r.cfg.PolicyFunc != nil {
+	if len(r.mods) > 0 {
+		pol := r.sel.Policy
+		for _, m := range r.mods {
+			pol = m.WrapPolicy(now, p.task, pol)
+		}
 		perTask := *r.sel
-		perTask.Policy = r.cfg.PolicyFunc(now, p.task)
+		perTask.Policy = pol
 		sel = &perTask
 	}
 	chosen, err := sel.Select(list)
@@ -769,7 +829,7 @@ func (r *Runner) onFinish(now float64, sed *sedState, rt *runningTask) {
 		Deadline:    rt.task.Deadline,
 		Class:       rt.task.Class,
 	}
-	if r.cfg.SLA != nil {
+	if r.sla != nil {
 		terms := r.terms[rt.task.ID]
 		rec.Deadline = terms.Deadline
 		rec.EarnedUSD = terms.EarnedUSD(now)
@@ -797,8 +857,8 @@ func (r *Runner) onFinish(now float64, sed *sedState, rt *runningTask) {
 	}
 	r.res.Records = append(r.res.Records, rec)
 	r.res.Completed++
-	if r.cfg.OnFinish != nil {
-		r.cfg.OnFinish(rec)
+	for _, m := range r.mods {
+		m.OnFinish(rec)
 	}
 	r.res.PerNodeTasks[rec.Server]++
 	r.res.PerClusterTasks[rec.Cluster]++
@@ -915,8 +975,7 @@ func (r *Runner) finalize() {
 			r.res.CO2Grams += g
 		}
 	}
-	if r.ledger != nil {
-		s := r.ledger.Summarize(float64(r.res.EnergyJ), r.res.CO2Grams)
-		r.res.SLA = &s
+	for _, m := range r.mods {
+		m.Finalize(r.res)
 	}
 }

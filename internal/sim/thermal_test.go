@@ -1,4 +1,7 @@
-package sim
+// External test package: it imports package thermal, which itself
+// depends on sim (thermal.Module), so an in-package test would close
+// an import cycle.
+package sim_test
 
 import (
 	"testing"
@@ -6,6 +9,7 @@ import (
 	"greensched/internal/cluster"
 	"greensched/internal/provision"
 	"greensched/internal/sched"
+	"greensched/internal/sim"
 	"greensched/internal/thermal"
 )
 
@@ -14,7 +18,7 @@ import (
 // invites the planner to 100% of nodes, but full load heats the room
 // past the 25 °C rule, forcing it back down — the §IV-C control loop
 // closed end to end.
-func thermalConfig(t *testing.T, seed int64) AdaptiveConfig {
+func thermalConfig(t *testing.T, seed int64) sim.AdaptiveConfig {
 	t.Helper()
 	store := provision.NewStore()
 	store.Put(provision.Record{Value: 0, Cost: 0.2, Temperature: 21})
@@ -30,7 +34,7 @@ func thermalConfig(t *testing.T, seed int64) AdaptiveConfig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return AdaptiveConfig{
+	return sim.AdaptiveConfig{
 		Platform: cluster.PaperPlatform(),
 		Planner:  planner,
 		Store:    store,
@@ -43,7 +47,7 @@ func thermalConfig(t *testing.T, seed int64) AdaptiveConfig {
 }
 
 func TestThermalLoopThrottlesHeat(t *testing.T) {
-	res, err := RunAdaptive(thermalConfig(t, 1))
+	res, err := sim.RunAdaptive(thermalConfig(t, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +93,7 @@ func TestThermalLoopThrottlesHeat(t *testing.T) {
 
 func TestThermalMeasurementsLandInStore(t *testing.T) {
 	cfg := thermalConfig(t, 2)
-	res, err := RunAdaptive(cfg)
+	res, err := sim.RunAdaptive(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,12 +120,29 @@ func TestThermalMeasurementsLandInStore(t *testing.T) {
 	}
 }
 
-func TestThermalDeterminism(t *testing.T) {
-	a, err := RunAdaptive(thermalConfig(t, 5))
+// TestThermalTypedNilMonitorDisablesLoop: AdaptiveConfig.Thermal used
+// to be a *thermal.Monitor; a nil pointer assigned through that type
+// must still mean "no room model" now that the field is an interface,
+// not pass the nil guard and panic on the first measurement.
+func TestThermalTypedNilMonitorDisablesLoop(t *testing.T) {
+	cfg := thermalConfig(t, 1)
+	var mon *thermal.Monitor
+	cfg.Thermal = mon
+	res, err := sim.RunAdaptive(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunAdaptive(thermalConfig(t, 5))
+	if res.Completed == 0 {
+		t.Fatal("no work done")
+	}
+}
+
+func TestThermalDeterminism(t *testing.T) {
+	a, err := sim.RunAdaptive(thermalConfig(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.RunAdaptive(thermalConfig(t, 5))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -119,10 +119,19 @@ type Summary struct {
 func (s Summary) NetUSD() float64 { return s.EarnedUSD - s.PenaltyUSD }
 
 // Summarize aggregates the ledger against the run's total energy and
-// emissions.
+// emissions. Accounts are folded in sorted class order so the dollar
+// totals are bit-for-bit reproducible — map iteration order must not
+// leak into float addition order (determinism tests compare Results
+// exactly).
 func (l *Ledger) Summarize(energyJ, co2Grams float64) Summary {
 	var s Summary
-	for _, a := range l.accounts {
+	classes := make([]string, 0, len(l.accounts))
+	for class := range l.accounts {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		a := l.accounts[class]
 		s.EarnedUSD += a.EarnedUSD
 		s.ForfeitedUSD += a.ForfeitedUSD
 		s.PenaltyUSD += a.PenaltyUSD
@@ -132,7 +141,6 @@ func (l *Ledger) Summarize(energyJ, co2Grams float64) Summary {
 		s.Rejected += a.Rejected
 		s.PerClass = append(s.PerClass, *a)
 	}
-	sort.Slice(s.PerClass, func(i, j int) bool { return s.PerClass[i].Class < s.PerClass[j].Class })
 	if net := s.NetUSD(); net > 0 {
 		s.JoulesPerUSD = energyJ / net
 		s.GramsPerUSD = co2Grams / net

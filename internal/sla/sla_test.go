@@ -2,6 +2,7 @@ package sla
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -284,5 +285,31 @@ func TestConfigValidate(t *testing.T) {
 	}
 	if len(ok.EffectiveCatalog()) == 0 {
 		t.Error("empty config has no effective catalog")
+	}
+}
+
+// TestSummarizeIsOrderIndependent pins the ledger's determinism
+// contract: dollar totals must be bit-for-bit identical however Go
+// happens to order the accounts map, because simulation determinism
+// tests compare Results exactly. (Summarize folds accounts in sorted
+// class order; summing in map order flakes by one ULP.)
+func TestSummarizeIsOrderIndependent(t *testing.T) {
+	build := func() Summary {
+		l := NewLedger()
+		for i, class := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+			terms := Terms{Class: class, Deadline: 100, ValueUSD: 0.1 * float64(i+1), Curve: Stepped{
+				Steps: []Step{{AfterSec: 0, Retained: 0.3}, {AfterSec: 60, Retained: -0.1}},
+			}}
+			l.Complete(terms, 90+float64(i))
+			l.Complete(terms, 110+float64(i)*7)
+			l.Reject(terms)
+		}
+		return l.Summarize(1234.567, 89.1011)
+	}
+	want := build()
+	for i := 0; i < 25; i++ {
+		if got := build(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("summary %d diverged:\n%+v\n%+v", i, got, want)
+		}
 	}
 }

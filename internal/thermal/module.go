@@ -1,0 +1,124 @@
+package thermal
+
+import (
+	"fmt"
+
+	"greensched/internal/estvec"
+	"greensched/internal/sched"
+	"greensched/internal/sim"
+	"greensched/internal/workload"
+)
+
+// Module closes the room-model loop inside a scenario: at every
+// control tick it feeds the Monitor the platform's instantaneous
+// per-node draws (sim.NodeView.PowerW, platform order — the same index
+// space as the recirculation matrix) and, when Threshold is positive,
+// wraps elections so servers whose measured inlet runs hot rank behind
+// cool ones. Temperature then emerges from placement instead of being
+// injected, and placement reacts to temperature — the paper's
+// "fine-grained scheduling by taking into account spatial information"
+// as one stackable module.
+type Module struct {
+	sim.BaseModule
+
+	// Monitor is the heat-recirculation model; its matrix must be
+	// sized to the platform (validated in Init). Give every run its
+	// own (it carries smoothed state).
+	Monitor *Monitor
+
+	// Threshold, when positive, enables thermal-aware ranking: nodes
+	// with inlet temperature above it sort behind cooler ones, the
+	// stack's base policy ordering within each group. 0 keeps the
+	// module monitor-only.
+	Threshold float64
+
+	names []string
+	temps map[string]float64
+	maxC  float64
+}
+
+// Init implements sim.Module.
+func (m *Module) Init(r *sim.Runner) error {
+	if m.Monitor == nil {
+		return fmt.Errorf("thermal: module needs a monitor")
+	}
+	if err := m.Monitor.Validate(); err != nil {
+		return err
+	}
+	m.names = r.NodeNames()
+	if got, want := len(m.Monitor.D), len(m.names); got != want {
+		return fmt.Errorf("thermal: %d×%d matrix for a %d-node platform", got, got, want)
+	}
+	m.temps = make(map[string]float64, len(m.names))
+	m.maxC = m.Monitor.Ambient
+	return nil
+}
+
+// OnTick implements sim.Module: it folds the tick's per-node draws
+// into the room model and refreshes the per-server temperatures the
+// election wrapper ranks on.
+func (m *Module) OnTick(_ float64, ctl sim.Control) {
+	nodes := ctl.Nodes()
+	watts := make([]float64, len(nodes))
+	for i, n := range nodes {
+		watts[i] = n.PowerW
+	}
+	temps, err := m.Monitor.Update(watts)
+	if err != nil {
+		// Init pinned the matrix to the platform size; a mismatch here
+		// is a simulation bug, mirroring the adaptive loop's feed.
+		panic(fmt.Sprintf("thermal: feed: %v", err))
+	}
+	for i, n := range nodes {
+		m.temps[n.Name] = temps[i]
+		if temps[i] > m.maxC {
+			m.maxC = temps[i]
+		}
+	}
+}
+
+// WrapPolicy implements sim.Module.
+func (m *Module) WrapPolicy(_ float64, _ workload.Task, base sched.Policy) sched.Policy {
+	if m.Threshold <= 0 {
+		return base
+	}
+	return moduleAware{inner: base, threshold: m.Threshold, temps: m.temps}
+}
+
+// MaxSeenC returns the hottest inlet temperature observed at any tick
+// of the run (ambient before the first tick).
+func (m *Module) MaxSeenC() float64 { return m.maxC }
+
+// TempC returns the node's latest measured inlet temperature.
+func (m *Module) TempC(node string) (float64, bool) {
+	t, ok := m.temps[node]
+	return t, ok
+}
+
+// moduleAware is AwarePolicy keyed by the module's own measurements
+// instead of an estimation-vector tag: cool servers before hot ones,
+// the inner ordering within each group. Servers without a measurement
+// (no tick yet) are treated as cool — a missing sensor must not starve
+// a node.
+type moduleAware struct {
+	inner     sched.Policy
+	threshold float64
+	temps     map[string]float64
+}
+
+// Name implements sched.Policy.
+func (p moduleAware) Name() string { return "THERMAL(" + p.inner.Name() + ")" }
+
+// Less implements sched.Policy.
+func (p moduleAware) Less(a, b *estvec.Vector) bool {
+	ha, hb := p.hot(a.Server), p.hot(b.Server)
+	if ha != hb {
+		return !ha // cool before hot
+	}
+	return p.inner.Less(a, b)
+}
+
+func (p moduleAware) hot(server string) bool {
+	t, ok := p.temps[server]
+	return ok && t > p.threshold
+}

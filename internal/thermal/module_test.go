@@ -1,0 +1,123 @@
+package thermal
+
+import (
+	"testing"
+
+	"greensched/internal/cluster"
+	"greensched/internal/estvec"
+	"greensched/internal/sched"
+	"greensched/internal/sim"
+	"greensched/internal/workload"
+)
+
+func thermalTasks(t *testing.T, n int) []workload.Task {
+	t.Helper()
+	burst := n
+	if burst > 6 {
+		burst = 6
+	}
+	tasks, err := workload.BurstThenRate{Total: n, Burst: burst, Rate: 0.05, Ops: 8e11}.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tasks
+}
+
+// TestModuleMeasuresHeatFromLoad runs a loaded scenario and requires
+// the room model to have seen heat above ambient, fed purely from the
+// control surface's per-node draws.
+func TestModuleMeasuresHeatFromLoad(t *testing.T) {
+	platform := cluster.MustPlatform(cluster.NewNodes("taurus", 4))
+	d, err := UniformRack(4, 2, 0.01, 0.002, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(21, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := &Module{Monitor: mon}
+	res, err := sim.Run(sim.NewScenario(platform, thermalTasks(t, 24),
+		sim.WithSeed(2),
+		sim.WithExplore(),
+		sim.WithTick(20),
+		sim.WithModules(mod),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 24 {
+		t.Fatalf("completed %d of 24", res.Completed)
+	}
+	if mod.MaxSeenC() <= 21 {
+		t.Errorf("max inlet %v °C never rose above ambient despite full load", mod.MaxSeenC())
+	}
+	if _, ok := mod.TempC("taurus-0"); !ok {
+		t.Error("no measurement recorded for taurus-0")
+	}
+}
+
+// TestModuleMatrixMustMatchPlatform: Init pins the matrix shape to the
+// platform.
+func TestModuleMatrixMustMatchPlatform(t *testing.T) {
+	platform := cluster.MustPlatform(cluster.NewNodes("taurus", 3))
+	d, err := UniformRack(2, 2, 0.01, 0.002, 0.5) // wrong size
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(21, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run(sim.NewScenario(platform, thermalTasks(t, 4),
+		sim.WithModules(&Module{Monitor: mon})))
+	if err == nil {
+		t.Fatal("2×2 matrix on a 3-node platform accepted")
+	}
+}
+
+// TestModuleRejectsStructLiteralMonitor: a Monitor assembled without
+// NewMonitor has no temperature buffer; Init must fail fast instead
+// of letting the first tick panic.
+func TestModuleRejectsStructLiteralMonitor(t *testing.T) {
+	platform := cluster.MustPlatform(cluster.NewNodes("taurus", 2))
+	d, err := UniformRack(2, 2, 0.01, 0.002, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run(sim.NewScenario(platform, thermalTasks(t, 4),
+		sim.WithTick(20),
+		sim.WithModules(&Module{Monitor: &Monitor{Ambient: 21, D: d, Alpha: 0.5}})))
+	if err == nil {
+		t.Fatal("struct-literal monitor accepted")
+	}
+}
+
+// TestModuleWrapRanksCoolFirst exercises the election wrapper: hot
+// servers sort behind cool ones, unmeasured servers fail open as cool.
+func TestModuleWrapRanksCoolFirst(t *testing.T) {
+	m := &Module{
+		Monitor:   &Monitor{},
+		Threshold: 25,
+		temps:     map[string]float64{"hot": 30, "cool": 22},
+	}
+	pol := m.WrapPolicy(0, workload.Task{}, sched.New(sched.Random))
+	hot := estvec.New("hot")
+	cool := estvec.New("cool")
+	unknown := estvec.New("unknown")
+	if !pol.Less(cool, hot) || pol.Less(hot, cool) {
+		t.Error("cool server must rank before hot")
+	}
+	if pol.Less(hot, unknown) {
+		t.Error("unmeasured server must be treated as cool")
+	}
+	if pol.Name() != "THERMAL(RANDOM)" {
+		t.Errorf("wrapper name %q", pol.Name())
+	}
+	// Threshold 0 keeps the module monitor-only.
+	m.Threshold = 0
+	base := sched.New(sched.Random)
+	if got := m.WrapPolicy(0, workload.Task{}, base); got != base {
+		t.Error("monitor-only module must pass the base policy through")
+	}
+}

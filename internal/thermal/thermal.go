@@ -85,13 +85,28 @@ type Monitor struct {
 
 // NewMonitor builds a monitor; temperatures start at ambient.
 func NewMonitor(ambient float64, d Matrix, alpha float64) (*Monitor, error) {
-	if err := d.Validate(); err != nil {
+	m := &Monitor{Ambient: ambient, D: d, Alpha: alpha, temps: make([]float64, len(d))}
+	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if alpha <= 0 || alpha > 1 {
-		return nil, fmt.Errorf("thermal: alpha %v outside (0,1]", alpha)
+	return m, nil
+}
+
+// Validate reports whether the monitor is usable: a coherent matrix,
+// a sane smoothing factor, and an allocated temperature buffer. A
+// Monitor assembled by struct literal fails the last check — use
+// NewMonitor.
+func (m *Monitor) Validate() error {
+	if err := m.D.Validate(); err != nil {
+		return err
 	}
-	return &Monitor{Ambient: ambient, D: d, Alpha: alpha, temps: make([]float64, len(d))}, nil
+	if m.Alpha <= 0 || m.Alpha > 1 {
+		return fmt.Errorf("thermal: alpha %v outside (0,1]", m.Alpha)
+	}
+	if len(m.temps) != len(m.D) {
+		return fmt.Errorf("thermal: monitor temperature buffer unallocated (use NewMonitor)")
+	}
+	return nil
 }
 
 // Update folds in the current per-node draws (watts, same index space
