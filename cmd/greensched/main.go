@@ -8,7 +8,8 @@
 //	greensched sla       [-seed N]             deadline/value-aware scheduling study
 //	greensched preempt   [-seed N]             express-boot vs checkpoint/restart preemption study
 //	greensched scenario  [-seed N]             composed module stack: carbon + SLA + preemption + budget in one run
-//	greensched all       [-seed N]             every study above (replicate and replay excluded)
+//	greensched live                            composed LIVE middleware interceptor demo (in-process + TCP)
+//	greensched all       [-seed N]             every study above (replicate, replay and live excluded)
 //
 // Output is written to stdout as ASCII tables/figures.
 package main
@@ -83,6 +84,8 @@ func run(args []string, out io.Writer) error {
 		return runPreempt(out, *seed)
 	case "scenario":
 		return runScenario(out, *seed)
+	case "live":
+		return runLive(out)
 	case "replay":
 		return runReplay(out, *traceFile, *policyName, *seed)
 	case "all":
@@ -143,6 +146,17 @@ func runScenario(out io.Writer, seed int64) error {
 	cfg := experiments.DefaultComposedConfig()
 	cfg.SLA.Seed = seed
 	res, err := experiments.RunComposedStudy(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(out)
+}
+
+// runLive executes the composed LIVE middleware demo. It runs on the
+// wall clock (sub-second grid windows, millisecond solves), so it
+// takes no seed and is excluded from `all`.
+func runLive(out io.Writer) error {
+	res, err := experiments.RunLiveComposedStudy(experiments.DefaultLiveComposedConfig())
 	if err != nil {
 		return err
 	}
@@ -316,8 +330,10 @@ commands:
   sla         deadline/value-aware scheduling: energy-only vs SLA-aware vs SLA+carbon
   preempt     checkpoint/restart preemption vs express-boot-only for urgent work
   scenario    composed module stack: carbon + SLA + preemption + budget in one run
+  live        composed LIVE middleware: SLA + carbon + budget interceptors over
+              in-process and TCP transports (wall clock, no seed)
   replay      schedule an external trace (-trace FILE [-policy P])
-  all         run every study (replicate and replay excluded)
+  all         run every study (replicate, replay and live excluded)
 
 flags:
   -seed N     deterministic simulation seed (default 1)

@@ -105,6 +105,19 @@ func TestScenarioCommandSmoke(t *testing.T) {
 	}
 }
 
+func TestLiveCommandSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"live"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"IN-PROCESS", "TCP", "Deferred", "Earned", "LIVE serving path"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestUnknownCommandAndMissingArgs(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{}, &b); err != errUsage {
@@ -134,7 +147,7 @@ func TestUsageListsScenarioCommand(t *testing.T) {
 	if err := run([]string{"help"}, &b); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"scenario", "carbon + SLA + preemption + budget"} {
+	for _, want := range []string{"scenario", "carbon + SLA + preemption + budget", "live", "interceptors over"} {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("usage text missing %q:\n%s", want, b.String())
 		}

@@ -12,6 +12,11 @@
 //	internal/core           the paper's contribution (GreenPerf, Eq. 1-6, Algorithm 1)
 //	                        plus the carbon-aware ranking extensions
 //	internal/middleware     live DIET-style hierarchy (in-process and TCP)
+//	                        with the composable middleware.Interceptor
+//	                        stack (NewMaster + functional options): SLA
+//	                        admission + revenue ledger, carbon-window
+//	                        deferral and budget metering run on the live
+//	                        serving path, mirroring sim's module stack
 //	internal/sim            deterministic discrete-event simulator with
 //	                        per-node CO2 accounting and the composable
 //	                        sim.Module extension stack (NewScenario +

@@ -1,0 +1,457 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"greensched/internal/budget"
+	"greensched/internal/carbon"
+	"greensched/internal/middleware"
+	"greensched/internal/report"
+	"greensched/internal/sched"
+	"greensched/internal/sla"
+)
+
+// The live composed study is the proof that the middleware.Interceptor
+// stack gives the LIVE hierarchy the same composable machinery the
+// sim.Module stack gave the simulator: SLA admission + a real-dollar
+// ledger, carbon-window deferral of deferrable requests, and budget
+// metering, all mounted on one Master — and behaving the same whether
+// the SEDs are in-process or behind the TCP/gob transport. It runs on
+// the wall clock with deliberately tiny durations (sub-second grid
+// windows, millisecond solves) so it doubles as a CI smoke test.
+
+// Transport names of the compared deployments.
+const (
+	LiveTransportInProcess = "IN-PROCESS"
+	LiveTransportTCP       = "TCP"
+)
+
+// Live SLA class names (the catalog is deployment-specific: real
+// wall-clock deadlines, not the simulator's hour-scale ones).
+const (
+	LiveClassInteractive = "interactive"
+	LiveClassBatch       = "batch"
+	LiveClassHopeless    = "hopeless"
+)
+
+// LiveComposedConfig parameterizes the live composition study.
+type LiveComposedConfig struct {
+	// Request mix: Warmup best-effort requests measure the SEDs,
+	// Interactive carry a 60 s deadline at $2, Batch are deferrable at
+	// $0.05, Hopeless carry a deadline no node can meet (admission
+	// must reject every one).
+	Warmup      int
+	Interactive int
+	Batch       int
+	Hopeless    int
+
+	// Ops per request; the SEDs "compute" by sleeping Ops/flops.
+	Ops float64
+	// LeanFlops/HungryFlops and the watt figures describe the two
+	// SEDs (the hungry node is faster and thirstier).
+	LeanFlops   float64
+	HungryFlops float64
+	LeanWatts   float64
+	HungryWatts float64
+
+	// The grid: dirty (DirtyG) for DirtyWindowSec after the start,
+	// clean (CleanG) afterwards. Deferrable work waits out the dirty
+	// window, bounded by MaxDeferSec.
+	CleanG         float64
+	DirtyG         float64
+	DirtyWindowSec float64
+	MaxDeferSec    float64
+	PollSec        float64
+
+	// BudgetJ over BudgetHorizonSec is generous by default: the study
+	// asserts exact metering, not starvation.
+	BudgetJ          float64
+	BudgetHorizonSec float64
+}
+
+// DefaultLiveComposedConfig returns the calibrated sub-second
+// scenario.
+func DefaultLiveComposedConfig() LiveComposedConfig {
+	return LiveComposedConfig{
+		Warmup:      4,
+		Interactive: 4,
+		Batch:       4,
+		Hopeless:    1,
+		Ops:         4e6,
+		LeanFlops:   1e9,
+		HungryFlops: 4e9,
+		LeanWatts:   80,
+		HungryWatts: 320,
+		CleanG:      60,
+		DirtyG:      600,
+		// The dirty window is long enough that batch submitted at
+		// start provably waits, short enough to keep the study fast.
+		DirtyWindowSec:   0.4,
+		MaxDeferSec:      10,
+		PollSec:          0.02,
+		BudgetJ:          1e6,
+		BudgetHorizonSec: 60,
+	}
+}
+
+// Validate reports configuration errors.
+func (c LiveComposedConfig) Validate() error {
+	switch {
+	case c.Interactive <= 0 || c.Batch <= 0 || c.Hopeless <= 0:
+		return fmt.Errorf("experiments: live study needs interactive, batch and hopeless requests")
+	case c.Warmup < 0:
+		return fmt.Errorf("experiments: negative warmup")
+	case c.Ops <= 0 || c.LeanFlops <= 0 || c.HungryFlops <= 0:
+		return fmt.Errorf("experiments: live study needs positive ops and flops")
+	case c.DirtyG <= c.CleanG || c.CleanG < 0:
+		return fmt.Errorf("experiments: dirty intensity %v must exceed clean %v", c.DirtyG, c.CleanG)
+	case c.DirtyWindowSec <= 0 || c.MaxDeferSec <= c.DirtyWindowSec:
+		return fmt.Errorf("experiments: MaxDeferSec %v must exceed the dirty window %v", c.MaxDeferSec, c.DirtyWindowSec)
+	case c.BudgetJ <= 0 || c.BudgetHorizonSec <= 0:
+		return fmt.Errorf("experiments: live study needs a positive budget and horizon")
+	}
+	return nil
+}
+
+// liveCatalog returns the wall-clock SLA catalog: the hopeless class
+// deadline sits far below the best-case execution time, so admission
+// rejects it deterministically.
+func (c LiveComposedConfig) liveCatalog() sla.Catalog {
+	bestExec := c.Ops / c.HungryFlops
+	return sla.Catalog{
+		LiveClassInteractive: {
+			Name: LiveClassInteractive, RelDeadlineSec: 60, ValueUSD: 2, Curve: sla.HardDrop{},
+		},
+		LiveClassBatch: {
+			Name: LiveClassBatch, ValueUSD: 0.05, Curve: sla.Flat{},
+		},
+		LiveClassHopeless: {
+			Name: LiveClassHopeless, RelDeadlineSec: bestExec / 100, ValueUSD: 1, Curve: sla.HardDrop{},
+		},
+	}
+}
+
+// ExpectedEarnedUSD is the dollar total the ledger must show when
+// every admitted request completes on time.
+func (c LiveComposedConfig) ExpectedEarnedUSD() float64 {
+	return 2*float64(c.Interactive) + 0.05*float64(c.Batch)
+}
+
+// liveStepSignal is the study's grid: dirty until dirtyUntil (on the
+// master clock), clean afterwards. The study anchors the window right
+// before it submits the deferrable batch — the submissions land while
+// the grid is provably dirty no matter how long the warmup phase took
+// on a loaded machine.
+type liveStepSignal struct {
+	mu         sync.Mutex
+	dirtyUntil float64
+	dirtyG     float64
+	cleanG     float64
+}
+
+// dirtyAt reports whether t falls inside the dirty window.
+func (s *liveStepSignal) dirtyAt(t float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return t < s.dirtyUntil
+}
+
+// anchor opens a dirty window ending at t.
+func (s *liveStepSignal) anchor(t float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dirtyUntil = t
+}
+
+// Name implements carbon.Signal.
+func (s *liveStepSignal) Name() string { return "live-step" }
+
+// IntensityAt implements carbon.Signal.
+func (s *liveStepSignal) IntensityAt(t float64) float64 {
+	if s.dirtyAt(t) {
+		return s.dirtyG
+	}
+	return s.cleanG
+}
+
+// RenewableAt implements carbon.Signal.
+func (s *liveStepSignal) RenewableAt(t float64) float64 {
+	if s.dirtyAt(t) {
+		return 0.1
+	}
+	return 0.8
+}
+
+// MeanIntensity implements carbon.Signal exactly for the single step.
+func (s *liveStepSignal) MeanIntensity(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return s.IntensityAt(t0)
+	}
+	s.mu.Lock()
+	edge := s.dirtyUntil
+	s.mu.Unlock()
+	if t1 <= edge {
+		return s.dirtyG
+	}
+	if t0 >= edge {
+		return s.cleanG
+	}
+	return (s.dirtyG*(edge-t0) + s.cleanG*(t1-edge)) / (t1 - t0)
+}
+
+// LiveComposedRun is one transport's outcome.
+type LiveComposedRun struct {
+	Transport string
+	// Result is the master's finalized counters and the summaries the
+	// interceptor stack published.
+	Result middleware.LiveResult
+	// ExpectedEarnedUSD is the dollar total implied by the request mix.
+	ExpectedEarnedUSD float64
+}
+
+// LiveComposedResult bundles the compared transports.
+type LiveComposedResult struct {
+	Config LiveComposedConfig
+	Runs   []LiveComposedRun // fixed order: IN-PROCESS, TCP
+}
+
+// Run returns the named transport's outcome, or false.
+func (r *LiveComposedResult) Run(transport string) (LiveComposedRun, bool) {
+	for _, run := range r.Runs {
+		if run.Transport == transport {
+			return run, true
+		}
+	}
+	return LiveComposedRun{}, false
+}
+
+// RunLiveComposedStudy executes the composed live scenario over both
+// transports.
+func RunLiveComposedStudy(cfg LiveComposedConfig) (*LiveComposedResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := &LiveComposedResult{Config: cfg}
+	for _, transport := range []string{LiveTransportInProcess, LiveTransportTCP} {
+		run, err := runLiveComposed(cfg, transport)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: live composed %s: %w", transport, err)
+		}
+		out.Runs = append(out.Runs, run)
+	}
+	return out, nil
+}
+
+// liveSED builds one metered, carbon-tagged SED whose service sleeps
+// ops/flops.
+func liveSED(name string, flops, watts float64, sig carbon.Signal) (*middleware.SED, error) {
+	sed, err := middleware.NewSED(middleware.SEDConfig{
+		Name:  name,
+		Slots: 2,
+		Interceptors: []middleware.Interceptor{
+			&middleware.MeterInterceptor{Meter: func() (float64, bool) { return watts, true }},
+			&middleware.CarbonInterceptor{Signal: sig},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sed.Register(middleware.Service{
+		Name:  "compute",
+		Solve: sleepSolve(flops),
+	}); err != nil {
+		return nil, err
+	}
+	return sed, nil
+}
+
+// runLiveComposed runs the scenario on one transport.
+func runLiveComposed(cfg LiveComposedConfig, transport string) (LiveComposedRun, error) {
+	sig := &liveStepSignal{dirtyG: cfg.DirtyG, cleanG: cfg.CleanG}
+	lean, err := liveSED("lean", cfg.LeanFlops, cfg.LeanWatts, sig)
+	if err != nil {
+		return LiveComposedRun{}, err
+	}
+	hungry, err := liveSED("hungry", cfg.HungryFlops, cfg.HungryWatts, sig)
+	if err != nil {
+		return LiveComposedRun{}, err
+	}
+
+	tracker, err := budget.NewTracker(cfg.BudgetJ, cfg.BudgetHorizonSec)
+	if err != nil {
+		return LiveComposedRun{}, err
+	}
+	// Stack order: the SLA layer first (resolve terms, admit or
+	// reject before anything is parked — and its resolved deadlines
+	// keep urgent traffic out of the green window below), then the
+	// carbon window, then budget metering. Finalize runs in reverse,
+	// so the ledger summary divides by the grams and joules the later
+	// interceptors published.
+	ics := []middleware.Interceptor{
+		&middleware.SLAInterceptor{
+			Config: &sla.Config{
+				Catalog:   cfg.liveCatalog(),
+				Admission: &sla.Admission{Margin: 1},
+			},
+			BestFlops: cfg.HungryFlops,
+		},
+		&middleware.CarbonInterceptor{
+			Signal:      sig,
+			DirtyG:      (cfg.CleanG + cfg.DirtyG) / 2,
+			MaxDeferSec: cfg.MaxDeferSec, PollSec: cfg.PollSec,
+		},
+		&middleware.BudgetInterceptor{Tracker: tracker},
+	}
+
+	opts := []middleware.Option{
+		middleware.WithName("live-" + transport),
+		middleware.WithPolicy(sched.New(sched.GreenPerf)),
+		middleware.WithInterceptors(ics...),
+	}
+	var cleanup []func() error
+	defer func() {
+		for _, fn := range cleanup {
+			fn()
+		}
+	}()
+	switch transport {
+	case LiveTransportInProcess:
+		opts = append(opts, middleware.WithSEDs(lean, hungry))
+	case LiveTransportTCP:
+		for _, sed := range []*middleware.SED{lean, hungry} {
+			ep, err := middleware.Serve("127.0.0.1:0", sed, sed)
+			if err != nil {
+				return LiveComposedRun{}, err
+			}
+			cleanup = append(cleanup, ep.Close)
+			rem := middleware.Dial(sed.Name(), ep.Addr())
+			cleanup = append(cleanup, rem.Close)
+			opts = append(opts, middleware.WithRemotes(rem))
+		}
+	default:
+		return LiveComposedRun{}, fmt.Errorf("unknown transport %q", transport)
+	}
+
+	master, err := middleware.NewMaster(opts...)
+	if err != nil {
+		return LiveComposedRun{}, err
+	}
+	ctx := context.Background()
+
+	// Learning phase: best-effort warmups measure the SEDs.
+	for i := 0; i < cfg.Warmup; i++ {
+		if _, err := master.Do(ctx, middleware.Request{Service: "compute", Ops: cfg.Ops}); err != nil {
+			return LiveComposedRun{}, fmt.Errorf("warmup %d: %w", i, err)
+		}
+	}
+
+	// Deferrable batch goes in first, while the grid is provably
+	// dirty: the window is anchored to open NOW and the carbon
+	// interceptor must hold every one of them until it closes.
+	sig.anchor(master.Now() + cfg.DirtyWindowSec)
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Batch+cfg.Interactive)
+	submit := func(req middleware.Request) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := master.Do(ctx, req); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	for i := 0; i < cfg.Batch; i++ {
+		submit(middleware.Request{Service: "compute", Ops: cfg.Ops, Class: LiveClassBatch, Deferrable: true})
+	}
+	// Interactive traffic rides the express lane: deadlines are never
+	// parked behind the green window.
+	for i := 0; i < cfg.Interactive; i++ {
+		submit(middleware.Request{Service: "compute", Ops: cfg.Ops, Class: LiveClassInteractive})
+	}
+	// Hopeless requests: admission must refuse each one (the master's
+	// Rejected counter, asserted in the study's test, keeps the tally).
+	for i := 0; i < cfg.Hopeless; i++ {
+		_, err := master.Do(ctx, middleware.Request{Service: "compute", Ops: cfg.Ops, Class: LiveClassHopeless})
+		if err == nil {
+			return LiveComposedRun{}, fmt.Errorf("hopeless request %d was admitted", i)
+		}
+		if !errors.Is(err, middleware.ErrRejected) {
+			return LiveComposedRun{}, fmt.Errorf("hopeless request %d: %w", i, err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return LiveComposedRun{}, err
+	}
+
+	res := master.Finalize()
+	return LiveComposedRun{
+		Transport:         transport,
+		Result:            *res,
+		ExpectedEarnedUSD: cfg.ExpectedEarnedUSD(),
+	}, nil
+}
+
+// sleepSolve pretends to compute by sleeping ops/flops.
+func sleepSolve(flops float64) func(context.Context, middleware.Request) ([]byte, error) {
+	return func(ctx context.Context, req middleware.Request) ([]byte, error) {
+		select {
+		case <-time.After(time.Duration(req.Ops / flops * float64(time.Second))):
+			return []byte("done"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Table renders the per-transport comparison.
+func (r *LiveComposedResult) Table() *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Live interceptor stack: %d interactive + %d deferrable batch + %d hopeless over a %.2gs dirty window",
+			r.Config.Interactive, r.Config.Batch, r.Config.Hopeless, r.Config.DirtyWindowSec),
+		Headers: []string{"Transport", "Done", "Rejected", "Deferred", "Wait (s)",
+			"Earned ($)", "Energy (J)", "CO2 (g)", "Budget (J)"},
+	}
+	for _, run := range r.Runs {
+		earned := 0.0
+		if run.Result.SLA != nil {
+			earned = run.Result.SLA.EarnedUSD
+		}
+		t.AddRow(run.Transport,
+			fmt.Sprintf("%d", run.Result.Completed),
+			fmt.Sprintf("%d", run.Result.Rejected),
+			fmt.Sprintf("%d", run.Result.Deferred),
+			fmt.Sprintf("%.2f", run.Result.DeferredSec),
+			fmt.Sprintf("%.2f", earned),
+			fmt.Sprintf("%.2f", run.Result.EnergyJ),
+			fmt.Sprintf("%.3f", run.Result.CO2Grams),
+			fmt.Sprintf("%.2f", run.Result.BudgetSpentJ),
+		)
+	}
+	return t
+}
+
+// Render writes the table plus the study's headline invariants.
+func (r *LiveComposedResult) Render(w io.Writer) error {
+	if err := r.Table().Render(w); err != nil {
+		return err
+	}
+	for _, run := range r.Runs {
+		if run.Result.SLA == nil {
+			continue
+		}
+		fmt.Fprintf(w, "\n%s ledger (expected $%.2f):\n", run.Transport, run.ExpectedEarnedUSD)
+		if err := run.Result.SLA.Render(w); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "\nSLA admission, the revenue ledger, carbon-window deferral and budget metering all ran on the LIVE serving path, identically over %s and %s transports\n",
+		LiveTransportInProcess, LiveTransportTCP)
+	return nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestLiveComposedStudy is the acceptance test for the live
+// interceptor stack: over BOTH transports, the ledger shows the exact
+// dollar total the request mix implies, admission rejects every
+// hopeless request, at least one deferrable request waits out the
+// dirty window, and the budget tracker meters exactly the energy the
+// master attributed.
+func TestLiveComposedStudy(t *testing.T) {
+	cfg := DefaultLiveComposedConfig()
+	// Keep CI fast: shrink the dirty window and solves.
+	cfg.DirtyWindowSec = 0.2
+	cfg.PollSec = 0.01
+	cfg.Ops = 2e6
+
+	res, err := RunLiveComposedStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2 transports", len(res.Runs))
+	}
+	for _, transport := range []string{LiveTransportInProcess, LiveTransportTCP} {
+		run, ok := res.Run(transport)
+		if !ok {
+			t.Fatalf("no %s run", transport)
+		}
+		r := run.Result
+
+		// Ledger dollar totals: every admitted request completed on
+		// time, so earned must equal the mix's value exactly and the
+		// hopeless value is forfeited.
+		if r.SLA == nil {
+			t.Fatalf("%s: no ledger summary", transport)
+		}
+		if math.Abs(r.SLA.EarnedUSD-run.ExpectedEarnedUSD) > 1e-9 {
+			t.Errorf("%s: earned $%.4f, want $%.4f", transport, r.SLA.EarnedUSD, run.ExpectedEarnedUSD)
+		}
+		if math.Abs(r.SLA.ForfeitedUSD-float64(cfg.Hopeless)) > 1e-9 {
+			t.Errorf("%s: forfeited $%.4f, want $%.4f", transport, r.SLA.ForfeitedUSD, float64(cfg.Hopeless))
+		}
+
+		// Admission rejections: every hopeless request refused, on the
+		// master's counters and the ledger alike.
+		if r.Rejected != cfg.Hopeless || r.SLA.Rejected != cfg.Hopeless {
+			t.Errorf("%s: rejected master=%d ledger=%d, want %d", transport, r.Rejected, r.SLA.Rejected, cfg.Hopeless)
+		}
+
+		// Deferred-window behaviour: deferrable batch waited for the
+		// clean window.
+		if r.Deferred < 1 {
+			t.Errorf("%s: no request was carbon-deferred", transport)
+		}
+		if r.DeferredSec <= 0 {
+			t.Errorf("%s: deferral recorded no wait", transport)
+		}
+
+		// Everything admitted completed, nothing failed.
+		wantDone := cfg.Warmup + cfg.Interactive + cfg.Batch
+		if r.Completed != wantDone || r.Failed != 0 {
+			t.Errorf("%s: completed=%d failed=%d, want %d/0", transport, r.Completed, r.Failed, wantDone)
+		}
+		if r.SLA.Misses != 0 {
+			t.Errorf("%s: %d deadline misses on 60s deadlines", transport, r.SLA.Misses)
+		}
+
+		// Budget metering matches the master's energy attribution to
+		// the last charge, and energy actually flowed (over TCP this
+		// proves the share crossed the wire).
+		if r.EnergyJ <= 0 {
+			t.Errorf("%s: no energy attributed", transport)
+		}
+		if math.Abs(r.BudgetSpentJ-r.EnergyJ) > 1e-6*math.Max(1, r.EnergyJ) {
+			t.Errorf("%s: budget metered %.6f J, master attributed %.6f J", transport, r.BudgetSpentJ, r.EnergyJ)
+		}
+		if r.CO2Grams <= 0 {
+			t.Errorf("%s: no emissions attributed", transport)
+		}
+	}
+}
+
+// TestLiveComposedRender smoke-checks the report.
+func TestLiveComposedRender(t *testing.T) {
+	cfg := DefaultLiveComposedConfig()
+	cfg.DirtyWindowSec = 0.15
+	cfg.PollSec = 0.01
+	cfg.Ops = 2e6
+	res, err := RunLiveComposedStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{LiveTransportInProcess, LiveTransportTCP, "Deferred", "Earned"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestLiveComposedConfigValidation exercises the error paths.
+func TestLiveComposedConfigValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*LiveComposedConfig){
+		"no-interactive": func(c *LiveComposedConfig) { c.Interactive = 0 },
+		"no-hopeless":    func(c *LiveComposedConfig) { c.Hopeless = 0 },
+		"inverted-grid":  func(c *LiveComposedConfig) { c.DirtyG = c.CleanG - 1 },
+		"short-defer":    func(c *LiveComposedConfig) { c.MaxDeferSec = c.DirtyWindowSec / 2 },
+		"no-budget":      func(c *LiveComposedConfig) { c.BudgetJ = 0 },
+	} {
+		cfg := DefaultLiveComposedConfig()
+		mutate(&cfg)
+		if _, err := RunLiveComposedStudy(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package middleware
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -31,6 +32,47 @@ type Agent struct {
 	children     []Child
 	topK         int
 	childTimeout time.Duration
+}
+
+// AgentConfig declares one agent of the hierarchy for the composed
+// constructors: NewAgentFromConfig for mid-tree agents, NewMaster
+// (through its functional options) for the root.
+type AgentConfig struct {
+	Name   string
+	Policy sched.Policy
+	// TopK bounds how many candidates the agent forwards upward
+	// (0 = all).
+	TopK int
+	// ChildTimeout bounds each child's estimation round trip
+	// (0 disables).
+	ChildTimeout time.Duration
+	// Interceptors is the agent's extension stack. On the Master the
+	// full request lifecycle runs; on mid-tree agents only Init fires
+	// today (elections — and therefore the lifecycle — happen at the
+	// root), so lower mounts are for Init-time wiring and config
+	// uniformity.
+	Interceptors []Interceptor
+}
+
+// NewAgentFromConfig builds a mid-tree agent from a config, running
+// every interceptor's Init with the agent mount.
+func NewAgentFromConfig(cfg AgentConfig) (*Agent, error) {
+	a, err := NewAgent(cfg.Name, cfg.Policy, cfg.TopK)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ChildTimeout > 0 {
+		a.SetChildTimeout(cfg.ChildTimeout)
+	}
+	for _, ic := range cfg.Interceptors {
+		if ic == nil {
+			return nil, fmt.Errorf("middleware: agent %s: nil interceptor", cfg.Name)
+		}
+		if err := ic.Init(Mount{Agent: a}); err != nil {
+			return nil, fmt.Errorf("middleware: agent %s: %w", cfg.Name, err)
+		}
+	}
+	return a, nil
 }
 
 // NewAgent builds an agent with a plug-in policy. topK bounds how many
@@ -257,6 +299,19 @@ func (d *MapDirectory) Lookup(name string) (Solver, bool) {
 	defer d.mu.RUnlock()
 	s, ok := d.seds[name]
 	return s, ok
+}
+
+// Names returns the registered SED names, sorted — the enumeration
+// surface Master.SEDStats aggregates through.
+func (d *MapDirectory) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.seds))
+	for name := range d.seds {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Client submits problems through a Master Agent and invokes the

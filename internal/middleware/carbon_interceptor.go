@@ -1,0 +1,170 @@
+package middleware
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"greensched/internal/carbon"
+	"greensched/internal/estvec"
+)
+
+// CarbonInterceptor puts the grid on the live serving path — the
+// mirror of sim.CarbonModule plus the candidacy-window deferral the
+// simulator delegates to the consolidation controller:
+//
+//   - mounted on a SED, its WrapEstimation hook publishes the site's
+//     current intensity under estvec.TagCarbonIntensity so
+//     carbon-aware policies rank on it (the interceptor spelling of
+//     the deprecated SEDConfig.Carbon field);
+//   - mounted on a Master, its OnSubmit hook holds Deferrable
+//     requests back while the grid is dirtier than DirtyG — bounded
+//     by MaxDeferSec and the caller's context — and its OnComplete
+//     hook integrates every completion's energy share against the
+//     signal into grams of CO2.
+//
+// One instance belongs to one mount; a deployment that wants both
+// roles mounts two instances (SEDs see their own site's grid, the
+// master the deployment's), exactly as sim.CarbonModule attaches
+// per-node state.
+//
+// Mount it AFTER an SLAInterceptor: the SLA hook resolves class
+// deadlines onto Request.Deadline first, so the deferral below can see
+// them and honour the "deadline traffic is never parked" rule for
+// class-carrying requests too.
+type CarbonInterceptor struct {
+	BaseInterceptor
+
+	// Signal is the grid behind the mount, read on the mount's clock.
+	Signal carbon.Signal
+	// Epoch pins the signal's t=0 for SED mounts (zero = Init time);
+	// master mounts read the master clock instead.
+	Epoch time.Time
+	// Func overrides Signal with a live feed — the legacy
+	// SEDConfig.Carbon shape (value, ok).
+	Func CarbonFunc
+
+	// DirtyG enables deferral on master mounts: Deferrable requests
+	// wait while the intensity exceeds it (0 disables deferral).
+	DirtyG float64
+	// MaxDeferSec bounds one request's wait; when it expires the
+	// request proceeds on the dirty grid. Required when DirtyG is set.
+	MaxDeferSec float64
+	// PollSec is the re-check interval while deferred (0 = 50ms).
+	PollSec float64
+
+	clock func() float64
+
+	mu          sync.Mutex
+	deferred    int
+	deferredSec float64
+	grams       float64
+}
+
+// Init implements Interceptor.
+func (c *CarbonInterceptor) Init(mount Mount) error {
+	if c.Signal == nil && c.Func == nil {
+		return fmt.Errorf("middleware: carbon interceptor needs a signal or a live feed")
+	}
+	if c.DirtyG > 0 && c.MaxDeferSec <= 0 {
+		return fmt.Errorf("middleware: carbon interceptor with DirtyG %v needs a positive MaxDeferSec (unbounded deferral would park requests forever)", c.DirtyG)
+	}
+	if c.PollSec < 0 {
+		return fmt.Errorf("middleware: carbon interceptor PollSec %v negative", c.PollSec)
+	}
+	if mount.Master != nil {
+		c.clock = mount.Master.Now
+	} else {
+		epoch := c.Epoch
+		if epoch.IsZero() {
+			epoch = time.Now()
+		}
+		c.clock = func() float64 { return time.Since(epoch).Seconds() }
+	}
+	return nil
+}
+
+// intensity reads the grid at time now on the mount's clock.
+func (c *CarbonInterceptor) intensity(now float64) (float64, bool) {
+	if c.Func != nil {
+		return c.Func()
+	}
+	if c.Signal != nil {
+		return c.Signal.IntensityAt(now), true
+	}
+	return 0, false
+}
+
+// WrapEstimation implements Interceptor: the SED's vectors gain the
+// site's current carbon intensity.
+func (c *CarbonInterceptor) WrapEstimation(base EstimationFunc) EstimationFunc {
+	return func(s *SED, req Request) *estvec.Vector {
+		v := base(s, req)
+		if g, ok := c.intensity(c.clock()); ok {
+			v.Set(estvec.TagCarbonIntensity, g)
+		}
+		return v
+	}
+}
+
+// OnSubmit implements Interceptor: Deferrable requests wait for a
+// clean window — the live candidacy-window deferral. Non-deferrable
+// (and deadline-carrying) traffic passes straight through, matching
+// the simulator's rule that SLA work is never parked behind a green
+// window.
+func (c *CarbonInterceptor) OnSubmit(ctx context.Context, now float64, req *Request) error {
+	if c.DirtyG <= 0 || !req.Deferrable || req.Deadline > 0 {
+		return nil
+	}
+	g, ok := c.intensity(now)
+	if !ok || g <= c.DirtyG {
+		return nil
+	}
+	poll := c.PollSec
+	if poll <= 0 {
+		poll = 0.05
+	}
+	start := now
+	ticker := time.NewTicker(time.Duration(poll * float64(time.Second)))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+		now = c.clock()
+		g, ok = c.intensity(now)
+		if !ok || g <= c.DirtyG || now-start >= c.MaxDeferSec {
+			break
+		}
+	}
+	c.mu.Lock()
+	c.deferred++
+	c.deferredSec += now - start
+	c.mu.Unlock()
+	return nil
+}
+
+// OnComplete implements Interceptor: the completion's energy share is
+// integrated against the grid at its finish time.
+func (c *CarbonInterceptor) OnComplete(rec RequestRecord) {
+	g, ok := c.intensity(rec.Finish)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	c.grams += rec.EnergyJ / carbon.JoulesPerKWh * g
+	c.mu.Unlock()
+}
+
+// Finalize implements Interceptor: deferral counters and the emissions
+// attribution land on the result.
+func (c *CarbonInterceptor) Finalize(res *LiveResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res.Deferred += c.deferred
+	res.DeferredSec += c.deferredSec
+	res.CO2Grams += c.grams
+}

@@ -1,0 +1,181 @@
+package middleware
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"greensched/internal/estvec"
+	"greensched/internal/sched"
+)
+
+// This file is the interceptor redesign's back-compat contract,
+// mirroring sim/compat_test.go: a legacy SEDConfig driving the
+// deprecated one-slot fields (Meter, Carbon, Estimation) must produce
+// identical estimation vectors and identical elections to the
+// equivalent explicit interceptor stack. If an adapter ever drifts
+// from its interceptor, this is the test that fails.
+
+// compatPair builds the same two-SED deployment twice: once through
+// the legacy fields, once through the explicit interceptor stack. The
+// SEDs oppose power and carbon (lean grid, hungry node vs dirty grid,
+// lean node) so different policies elect different servers — an
+// adapter that drops a tag flips an election here.
+func compatPair(t *testing.T) (legacy, explicit map[string]*SED) {
+	t.Helper()
+	specs := []struct {
+		name   string
+		watts  float64
+		carbon float64
+	}{
+		{"greedy-clean", 300, 100},
+		{"frugal-dirty", 90, 500},
+	}
+	legacy = make(map[string]*SED)
+	explicit = make(map[string]*SED)
+	for _, spec := range specs {
+		watts, g := spec.watts, spec.carbon
+		meter := func() (float64, bool) { return watts, true }
+		carbonFn := func() (float64, bool) { return g, true }
+
+		l, err := NewSED(SEDConfig{Name: spec.name, Slots: 2, Meter: meter, Carbon: carbonFn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewSED(SEDConfig{Name: spec.name, Slots: 2, Interceptors: []Interceptor{
+			&MeterInterceptor{Meter: meter},
+			&CarbonInterceptor{Func: carbonFn},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sed := range []*SED{l, e} {
+			if err := sed.Register(burnService(2e9)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		legacy[spec.name] = l
+		explicit[spec.name] = e
+	}
+	return legacy, explicit
+}
+
+// TestLegacySEDConfigMatchesInterceptorStack: after identical priming,
+// the deterministic tags agree and every policy elects the same server
+// from both spellings.
+func TestLegacySEDConfigMatchesInterceptorStack(t *testing.T) {
+	legacy, explicit := compatPair(t)
+	prime(t, legacy)
+	prime(t, explicit)
+
+	// Constant meters make the learned power exact: the adapters must
+	// have fed the same readings to both estimators.
+	for name := range legacy {
+		lw := legacy[name].Stats().PowerW
+		ew := explicit[name].Stats().PowerW
+		if lw != ew || lw == 0 {
+			t.Errorf("%s: learned power legacy=%v explicit=%v", name, lw, ew)
+		}
+	}
+
+	// The deterministic estimation tags must agree bit-for-bit.
+	req := Request{Service: "burn", Ops: 1e7}
+	for name := range legacy {
+		lv, err := legacy[name].Estimate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := explicit[name].Estimate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tag := range []estvec.Tag{
+			estvec.TagPowerW, estvec.TagCarbonIntensity, estvec.TagFreeCores,
+			estvec.TagQueueLen, estvec.TagActive, estvec.TagKnown, estvec.TagRequests,
+		} {
+			if lg, eg := lv[0].Value(tag, -1), ev[0].Value(tag, -1); lg != eg {
+				t.Errorf("%s: tag %s legacy=%v explicit=%v", name, tag, lg, eg)
+			}
+		}
+	}
+
+	// Opposing policies must elect the same (different) servers from
+	// both spellings.
+	elect := func(seds map[string]*SED, policy sched.Policy) string {
+		t.Helper()
+		ma, err := NewMasterAgent("ma", policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ma.Attach(seds["greedy-clean"], seds["frugal-dirty"])
+		SeedRand(7)
+		server, _, err := ma.Elect(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return server
+	}
+	for _, tc := range []struct {
+		policy sched.Kind
+		want   string
+	}{
+		{sched.Power, "frugal-dirty"},
+		{sched.Carbon, "greedy-clean"},
+	} {
+		lw := elect(legacy, sched.New(tc.policy))
+		ew := elect(explicit, sched.New(tc.policy))
+		if lw != ew {
+			t.Errorf("%v: legacy elected %s, explicit %s", tc.policy, lw, ew)
+		}
+		if lw != tc.want {
+			t.Errorf("%v elected %s, want %s", tc.policy, lw, tc.want)
+		}
+	}
+}
+
+// TestLegacyEstimationMatchesEstimationInterceptor: a fully custom
+// estimation function produces byte-identical vectors through the
+// legacy field and the explicit interceptor.
+func TestLegacyEstimationMatchesEstimationInterceptor(t *testing.T) {
+	custom := func(s *SED, req Request) *estvec.Vector {
+		return estvec.New(s.Name()).
+			Set(estvec.Tag("rack_temp_c"), 21).
+			Set(estvec.TagFlops, 3e9).
+			SetBool(estvec.TagActive, true)
+	}
+	l, err := NewSED(SEDConfig{Name: "custom", Slots: 1, Estimation: custom,
+		Carbon: func() (float64, bool) { return 400, true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewSED(SEDConfig{Name: "custom", Slots: 1, Interceptors: []Interceptor{
+		&CarbonInterceptor{Func: func() (float64, bool) { return 400, true }},
+		&EstimationInterceptor{Estimate: custom},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sed := range []*SED{l, e} {
+		if err := sed.Register(burnService(2e9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	lv, err := l.Estimate(ctx, Request{Service: "burn", Ops: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := e.Estimate(ctx, Request{Service: "burn", Ops: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lv, ev) {
+		t.Errorf("vectors diverged:\nlegacy:   %v\nexplicit: %v", lv[0], ev[0])
+	}
+	// Both spellings suppress the carbon tag: the custom function
+	// replaces everything below it in the chain (the documented legacy
+	// override order).
+	if lv[0].Has(estvec.TagCarbonIntensity) || ev[0].Has(estvec.TagCarbonIntensity) {
+		t.Error("estimation override must suppress the carbon tag in both spellings")
+	}
+}

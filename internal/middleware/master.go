@@ -1,0 +1,334 @@
+package middleware
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"greensched/internal/core"
+	"greensched/internal/sched"
+)
+
+// Master is the composed hierarchy root: a MasterAgent plus the
+// transport it invokes elected SEDs through and the interceptor stack
+// that runs the request lifecycle (OnSubmit → Elect → OnElect → Solve
+// → OnComplete, with Finalize at shutdown). It is the live counterpart
+// of a sim scenario built with sim.NewScenario + WithModules.
+type Master struct {
+	*MasterAgent
+
+	dir   Directory
+	ics   []Interceptor
+	clock func() float64
+
+	nextID    atomic.Uint64
+	submitted atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64
+	failed    atomic.Int64
+
+	mu      sync.Mutex
+	energyJ float64
+}
+
+// masterConfig is what the functional options assemble.
+type masterConfig struct {
+	agent     AgentConfig
+	transport Directory
+	filter    CandidateFilter
+	children  []Child
+	seds      []*SED
+	remotes   []*Remote
+	clock     func() float64
+}
+
+// Option configures NewMaster.
+type Option func(*masterConfig)
+
+// WithName names the master agent (default "master").
+func WithName(name string) Option {
+	return func(c *masterConfig) { c.agent.Name = name }
+}
+
+// WithPolicy sets the plug-in election policy (required).
+func WithPolicy(p sched.Policy) Option {
+	return func(c *masterConfig) { c.agent.Policy = p }
+}
+
+// WithChildTimeout bounds each child's estimation round trip (see
+// Agent.SetChildTimeout).
+func WithChildTimeout(d time.Duration) Option {
+	return func(c *masterConfig) { c.agent.ChildTimeout = d }
+}
+
+// WithInterceptors appends request-lifecycle interceptors to the
+// master's stack; hooks run in the order given.
+func WithInterceptors(ics ...Interceptor) Option {
+	return func(c *masterConfig) { c.agent.Interceptors = append(c.agent.Interceptors, ics...) }
+}
+
+// WithTransport installs the directory the master resolves elected SED
+// names through: a MapDirectory of in-process SEDs, or one of Remote
+// handles for a TCP deployment. WithSEDs/WithRemotes register into it
+// (the directory must support Add — MapDirectory does); without this
+// option they populate an implicit MapDirectory.
+func WithTransport(dir Directory) Option {
+	return func(c *masterConfig) { c.transport = dir }
+}
+
+// WithCandidateFilter installs the §III-C provisioning filter (see
+// MasterAgent.SetCandidateFilter).
+func WithCandidateFilter(f CandidateFilter) Option {
+	return func(c *masterConfig) { c.filter = f }
+}
+
+// WithChildren attaches children (SEDs, sub-agents or Remotes) without
+// touching the transport — callers pairing it with WithTransport keep
+// full control of name resolution.
+func WithChildren(children ...Child) Option {
+	return func(c *masterConfig) { c.children = append(c.children, children...) }
+}
+
+// WithSEDs attaches in-process SEDs AND registers them in the
+// transport — the one-line wiring for single-process deployments.
+func WithSEDs(seds ...*SED) Option {
+	return func(c *masterConfig) { c.seds = append(c.seds, seds...) }
+}
+
+// WithRemotes attaches remote SED handles AND registers them in the
+// transport — the one-line wiring for TCP deployments.
+func WithRemotes(remotes ...*Remote) Option {
+	return func(c *masterConfig) { c.remotes = append(c.remotes, remotes...) }
+}
+
+// WithClock overrides the master's clock (seconds, monotone). The
+// default reads the wall clock with t=0 at NewMaster; tests inject
+// virtual time.
+func WithClock(clock func() float64) Option {
+	return func(c *masterConfig) { c.clock = clock }
+}
+
+// NewMaster builds the composed root from functional options. At
+// minimum a policy is required; SEDs/remotes/children and interceptors
+// are attached in the order given, and every interceptor's Init runs
+// before the master accepts work.
+func NewMaster(opts ...Option) (*Master, error) {
+	cfg := masterConfig{agent: AgentConfig{Name: "master"}}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	ma, err := NewMasterAgent(cfg.agent.Name, cfg.agent.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.agent.ChildTimeout > 0 {
+		ma.SetChildTimeout(cfg.agent.ChildTimeout)
+	}
+	if cfg.filter != nil {
+		ma.SetCandidateFilter(cfg.filter)
+	}
+
+	// WithSEDs/WithRemotes register into the transport: the implicit
+	// MapDirectory normally, or an explicit WithTransport directory
+	// when it supports registration — a transport that doesn't is a
+	// construction-time error, not a per-request "not in transport".
+	type adder interface {
+		Add(name string, s Solver)
+	}
+	dir := cfg.transport
+	if dir == nil {
+		dir = NewMapDirectory()
+	}
+	register := func(name string, s Solver) error {
+		if a, ok := dir.(adder); ok {
+			a.Add(name, s)
+			return nil
+		}
+		return fmt.Errorf("middleware: master %s: transport cannot register %s (use WithChildren with a pre-populated WithTransport directory)", cfg.agent.Name, name)
+	}
+	for _, sed := range cfg.seds {
+		if sed == nil {
+			return nil, fmt.Errorf("middleware: master %s: nil SED", cfg.agent.Name)
+		}
+		ma.Attach(sed)
+		if err := register(sed.Name(), sed); err != nil {
+			return nil, err
+		}
+	}
+	for _, rem := range cfg.remotes {
+		if rem == nil {
+			return nil, fmt.Errorf("middleware: master %s: nil remote", cfg.agent.Name)
+		}
+		ma.Attach(rem)
+		if err := register(rem.Name(), rem); err != nil {
+			return nil, err
+		}
+	}
+	ma.Attach(cfg.children...)
+
+	clock := cfg.clock
+	if clock == nil {
+		epoch := time.Now()
+		clock = func() float64 { return time.Since(epoch).Seconds() }
+	}
+
+	m := &Master{MasterAgent: ma, dir: dir, ics: cfg.agent.Interceptors, clock: clock}
+	for _, ic := range m.ics {
+		if ic == nil {
+			return nil, fmt.Errorf("middleware: master %s: nil interceptor", cfg.agent.Name)
+		}
+		if err := ic.Init(Mount{Master: m}); err != nil {
+			return nil, fmt.Errorf("middleware: master %s: %w", cfg.agent.Name, err)
+		}
+	}
+	return m, nil
+}
+
+// Now returns seconds on the master's clock.
+func (m *Master) Now() float64 { return m.clock() }
+
+// Submit runs the full §III-A problem-submission flow through the
+// interceptor stack — the composed counterpart of Client.Submit.
+func (m *Master) Submit(ctx context.Context, service string, ops float64, pref float64, payload []byte) (Response, error) {
+	return m.Do(ctx, Request{Service: service, Ops: ops, Pref: core.UserPref(pref), Payload: payload})
+}
+
+// Do runs one request through the lifecycle: OnSubmit hooks in stack
+// order (first error aborts; ErrRejected counts as a rejection),
+// election, OnElect hooks, execution on the elected SED through the
+// transport, OnComplete hooks. Failures after admission also reach
+// OnComplete (rec.Err set) so interceptors release per-request state.
+// A zero req.ID is assigned from the master's sequence.
+func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
+	if req.ID == 0 {
+		req.ID = m.nextID.Add(1)
+	}
+	m.submitted.Add(1)
+
+	for _, ic := range m.ics {
+		if err := ic.OnSubmit(ctx, m.clock(), &req); err != nil {
+			if errors.Is(err, ErrRejected) {
+				m.rejected.Add(1)
+			} else {
+				m.failed.Add(1)
+			}
+			// Earlier hooks may have attached per-request state; the
+			// failure record releases it (hooks ignore IDs they never
+			// admitted).
+			now := m.clock()
+			rec := RequestRecord{Req: req, Submit: now, Start: now, Finish: now, Err: err}
+			for _, ic := range m.ics {
+				ic.OnComplete(rec)
+			}
+			return Response{}, err
+		}
+	}
+	submitAt := m.clock()
+	fail := func(server string, start float64, err error) (Response, error) {
+		m.failed.Add(1)
+		rec := RequestRecord{
+			Req: req, Server: server,
+			Submit: submitAt, Start: start, Finish: m.clock(),
+			Err: err,
+		}
+		for _, ic := range m.ics {
+			ic.OnComplete(rec)
+		}
+		return Response{}, err
+	}
+
+	server, list, err := m.Elect(ctx, req)
+	if err != nil {
+		return fail("", submitAt, err)
+	}
+	now := m.clock()
+	for _, ic := range m.ics {
+		ic.OnElect(now, req, server, list)
+	}
+
+	solver, ok := m.dir.Lookup(server)
+	if !ok {
+		return fail(server, now, fmt.Errorf("middleware: elected SED %q not in transport", server))
+	}
+	start := m.clock()
+	resp, err := solver.Solve(ctx, req)
+	if err != nil {
+		return fail(server, start, err)
+	}
+	finish := m.clock()
+
+	m.completed.Add(1)
+	m.mu.Lock()
+	m.energyJ += resp.EnergyJ
+	m.mu.Unlock()
+
+	rec := RequestRecord{
+		Req: req, Server: resp.Server,
+		Submit: submitAt, Start: start, Finish: finish,
+		ExecSec: resp.ExecSec, EnergyJ: resp.EnergyJ,
+	}
+	for _, ic := range m.ics {
+		ic.OnComplete(rec)
+	}
+	return resp, nil
+}
+
+// Finalize assembles the LiveResult: the master's counters first, then
+// every interceptor's Finalize in REVERSE stack order (the onion's
+// exit path — an early-mounted SLAInterceptor summarizes over the
+// grams and joules later interceptors published). Call it when the
+// workload drains; calling again re-publishes current totals.
+func (m *Master) Finalize() *LiveResult {
+	m.mu.Lock()
+	energy := m.energyJ
+	m.mu.Unlock()
+	res := &LiveResult{
+		Submitted: int(m.submitted.Load()),
+		Completed: int(m.completed.Load()),
+		Rejected:  int(m.rejected.Load()),
+		Failed:    int(m.failed.Load()),
+		EnergyJ:   energy,
+	}
+	for i := len(m.ics) - 1; i >= 0; i-- {
+		m.ics[i].Finalize(res)
+	}
+	return res
+}
+
+// statser is the optional stats surface in-process SEDs expose through
+// the transport.
+type statser interface {
+	Stats() SEDStats
+}
+
+// namer is the optional enumeration surface a Directory exposes
+// (MapDirectory implements it).
+type namer interface {
+	Names() []string
+}
+
+// SEDStats aggregates the observability snapshots of every SED the
+// transport can enumerate and that exposes Stats (in-process SEDs;
+// Remote handles carry no stats and are skipped). Sorted by name.
+func (m *Master) SEDStats() []SEDStats {
+	dir, ok := m.dir.(namer)
+	if !ok {
+		return nil
+	}
+	var out []SEDStats
+	for _, name := range dir.Names() {
+		solver, ok := m.dir.Lookup(name)
+		if !ok {
+			continue
+		}
+		if st, ok := solver.(statser); ok {
+			out = append(out, st.Stats())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -26,19 +26,47 @@ import (
 )
 
 // Request is a client problem submission (§III-A step 1), carrying the
-// §III-C user preference.
+// §III-C user preference plus the live SLA terms the interceptor stack
+// resolves and enforces.
 type Request struct {
 	ID      uint64
 	Service string
 	Ops     float64 // problem size in flops
 	Pref    core.UserPref
 	Payload []byte // opaque problem data
+
+	// Class names the request's SLA class ("" = best-effort); an
+	// SLAInterceptor resolves it against its catalog exactly like
+	// workload.Task.Class in the simulator.
+	Class string
+	// Deadline is the absolute completion deadline in seconds on the
+	// master's clock (0 = none). When zero, OnSubmit resolves it from
+	// the class's relative deadline so later interceptors see the
+	// effective terms.
+	Deadline float64
+	// Value is the dollars an on-time completion earns (0 = class
+	// default).
+	Value float64
+	// Deferrable marks work a CarbonInterceptor may hold back until
+	// the grid is clean (the live analogue of the simulator's
+	// candidacy-window deferral of no-deadline batch).
+	Deferrable bool
 }
 
 // Response is the outcome of solving a request.
 type Response struct {
 	Server string
 	Output []byte
+
+	// ExecSec is the observed execution time on the solving SED.
+	ExecSec float64
+	// EnergyJ is the request's attributed energy share: the SED's mean
+	// metered draw over the execution divided by its slot count, times
+	// ExecSec — the static per-slot share of the node. Zero when the
+	// SED has no power source. It travels with the response so a
+	// master-side BudgetInterceptor can charge live completions even
+	// across the TCP transport.
+	EnergyJ float64
 }
 
 // Service is a computational service a SED exposes ("a single SED can
@@ -72,17 +100,37 @@ type EstimationFunc func(s *SED, req Request) *estvec.Vector
 type SEDConfig struct {
 	Name  string
 	Slots int // concurrent executions (cores); ≥1
+
+	// Interceptors is the SED's extension stack: WrapEstimation hooks
+	// fold left-to-right over DefaultEstimation, and PowerSource
+	// implementations feed the dynamic estimator. The deprecated
+	// Meter and Estimation fields below are converted into equivalent
+	// interceptors and prepended (in that order); the deprecated
+	// Carbon field stays inside DefaultEstimation — the chain's base —
+	// so custom estimation functions built on it keep seeing the tag
+	// exactly once. Legacy configurations keep their exact behaviour
+	// either way (asserted in compat_test.go).
+	Interceptors []Interceptor
+
 	// Meter supplies live power readings for the dynamic estimator.
+	//
+	// Deprecated: mount a MeterInterceptor in Interceptors instead.
 	Meter MeterFunc
 	// Carbon supplies the site's live grid carbon intensity; when
 	// set, the default estimation function reports it under
 	// estvec.TagCarbonIntensity so carbon-aware policies can rank on
 	// it.
+	//
+	// Deprecated: mount a CarbonInterceptor (Func or Signal) in
+	// Interceptors instead.
 	Carbon CarbonFunc
 	// EstimatorWindow is the moving-average window (requests); 0
 	// means 64.
 	EstimatorWindow int
 	// Estimation overrides the default estimation function.
+	//
+	// Deprecated: mount an EstimationInterceptor in Interceptors
+	// instead.
 	Estimation EstimationFunc
 	// BootSec/BootPowerW describe the node for Eq. 4/5 when the SED
 	// is provisioned from cold.
@@ -96,10 +144,18 @@ type SED struct {
 	cfg      SEDConfig
 	services map[string]Service
 
+	// estFn is the effective estimation function after the interceptor
+	// chain's WrapEstimation hooks fold over DefaultEstimation;
+	// sources holds the chain's PowerSource implementations in stack
+	// order.
+	estFn   EstimationFunc
+	sources []PowerSource
+
 	sem      chan struct{}
 	queueLen atomic.Int64
 	inflight atomic.Int64
 	done     atomic.Uint64
+	fails    atomic.Uint64
 
 	mu        sync.Mutex
 	est       *power.Estimator
@@ -112,8 +168,13 @@ type SED struct {
 type SEDStats struct {
 	Name      string
 	Completed uint64
-	InFlight  int
-	Queued    int
+	// Failed counts Solve calls that returned an error (service
+	// failures, unknown-service routing, context cancellation) — they
+	// never reach Completed, and without this counter they vanished
+	// from observability entirely.
+	Failed   uint64
+	InFlight int
+	Queued   int
 	// MeanExecSec is the average execution time of completed
 	// requests (0 before the first completion).
 	MeanExecSec float64
@@ -129,6 +190,7 @@ func (s *SED) Stats() SEDStats {
 	st := SEDStats{
 		Name:      s.cfg.Name,
 		Completed: s.done.Load(),
+		Failed:    s.fails.Load(),
 		InFlight:  int(s.inflight.Load()),
 		Queued:    int(s.queueLen.Load()),
 		Active:    s.active.Load(),
@@ -150,7 +212,11 @@ func (s *SED) Stats() SEDStats {
 	return st
 }
 
-// NewSED constructs a SED.
+// NewSED constructs a SED: it converts the deprecated one-slot config
+// fields into their interceptor equivalents, prepends them to the
+// explicit stack (Meter, Estimation, then cfg.Interceptors), runs
+// every Init, and folds the WrapEstimation hooks left-to-right over
+// DefaultEstimation.
 func NewSED(cfg SEDConfig) (*SED, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("middleware: SED needs a name")
@@ -168,7 +234,50 @@ func NewSED(cfg SEDConfig) (*SED, error) {
 		est:      power.NewEstimator(cfg.EstimatorWindow),
 	}
 	s.active.Store(true)
+
+	// Legacy adapters first, in a fixed documented order. cfg.Carbon
+	// stays inside DefaultEstimation (the chain's base) rather than
+	// becoming a chain element: custom estimation functions build on
+	// DefaultEstimation and must keep seeing the legacy tag exactly
+	// once.
+	var chain []Interceptor
+	if cfg.Meter != nil {
+		chain = append(chain, &MeterInterceptor{Meter: cfg.Meter})
+	}
+	if cfg.Estimation != nil {
+		chain = append(chain, &EstimationInterceptor{Estimate: cfg.Estimation})
+	}
+	chain = append(chain, cfg.Interceptors...)
+
+	est := EstimationFunc(func(sed *SED, req Request) *estvec.Vector {
+		return sed.DefaultEstimation(req)
+	})
+	for _, ic := range chain {
+		if ic == nil {
+			return nil, fmt.Errorf("middleware: SED %s: nil interceptor", cfg.Name)
+		}
+		if err := ic.Init(Mount{SED: s}); err != nil {
+			return nil, fmt.Errorf("middleware: SED %s: %w", cfg.Name, err)
+		}
+		est = ic.WrapEstimation(est)
+		if src, ok := ic.(PowerSource); ok {
+			s.sources = append(s.sources, src)
+		}
+	}
+	s.estFn = est
 	return s, nil
+}
+
+// readPower polls the SED's power sources in stack order and returns
+// the first available reading — single-meter deployments behave
+// exactly as the legacy Meter field did.
+func (s *SED) readPower() (float64, bool) {
+	for _, src := range s.sources {
+		if w, ok := src.PowerW(); ok {
+			return w, true
+		}
+	}
+	return 0, false
 }
 
 // Name returns the SED's unique name.
@@ -195,6 +304,9 @@ func (s *SED) Active() bool { return s.active.Load() }
 // Completed returns the number of requests solved.
 func (s *SED) Completed() uint64 { return s.done.Load() }
 
+// Failed returns the number of Solve calls that returned an error.
+func (s *SED) Failed() uint64 { return s.fails.Load() }
+
 // Estimate responds to a request propagation (§III-A step 3): nil when
 // the SED does not offer the service, otherwise a single-vector list.
 func (s *SED) Estimate(ctx context.Context, req Request) (estvec.List, error) {
@@ -204,10 +316,7 @@ func (s *SED) Estimate(ctx context.Context, req Request) (estvec.List, error) {
 	if !offers {
 		return nil, nil
 	}
-	if s.cfg.Estimation != nil {
-		return estvec.List{s.cfg.Estimation(s, req)}, nil
-	}
-	return estvec.List{s.DefaultEstimation(req)}, nil
+	return estvec.List{s.estFn(s, req)}, nil
 }
 
 // DefaultEstimation is the stock estimation function: the classic DIET
@@ -263,12 +372,14 @@ func (s *SED) DefaultEstimation(req Request) *estvec.Vector {
 
 // Solve executes a request (§III-A step 5), blocking for a free slot.
 // It feeds the dynamic estimator with the observed execution time and
-// the meter's power readings.
+// the power sources' readings, and attributes the request its per-slot
+// energy share in the response.
 func (s *SED) Solve(ctx context.Context, req Request) (Response, error) {
 	s.mu.Lock()
 	svc, ok := s.services[req.Service]
 	s.mu.Unlock()
 	if !ok {
+		s.fails.Add(1)
 		return Response{}, fmt.Errorf("middleware: SED %s does not offer %q", s.cfg.Name, req.Service)
 	}
 	s.queueLen.Add(1)
@@ -276,6 +387,7 @@ func (s *SED) Solve(ctx context.Context, req Request) (Response, error) {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
 		s.queueLen.Add(-1)
+		s.fails.Add(1)
 		return Response{}, ctx.Err()
 	}
 	s.queueLen.Add(-1)
@@ -287,23 +399,20 @@ func (s *SED) Solve(ctx context.Context, req Request) (Response, error) {
 
 	var meterSum float64
 	var meterN int
-	if s.cfg.Meter != nil {
-		if w, ok := s.cfg.Meter(); ok {
-			meterSum += w
-			meterN++
-		}
+	if w, ok := s.readPower(); ok {
+		meterSum += w
+		meterN++
 	}
 	start := time.Now()
 	out, err := svc.Solve(ctx, req)
 	elapsed := time.Since(start).Seconds()
 	if err != nil {
+		s.fails.Add(1)
 		return Response{}, err
 	}
-	if s.cfg.Meter != nil {
-		if w, ok := s.cfg.Meter(); ok {
-			meterSum += w
-			meterN++
-		}
+	if w, ok := s.readPower(); ok {
+		meterSum += w
+		meterN++
 	}
 	meanW := 0.0
 	if meterN > 0 {
@@ -316,7 +425,12 @@ func (s *SED) Solve(ctx context.Context, req Request) (Response, error) {
 		s.mu.Unlock()
 	}
 	s.done.Add(1)
-	return Response{Server: s.cfg.Name, Output: out}, nil
+	return Response{
+		Server:  s.cfg.Name,
+		Output:  out,
+		ExecSec: elapsed,
+		EnergyJ: meanW * elapsed / float64(s.cfg.Slots),
+	}, nil
 }
 
 // randFloat is a package-level uniform source for the RANDOM policy

@@ -3,6 +3,7 @@ package middleware
 import (
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -10,6 +11,14 @@ import (
 
 	"greensched/internal/estvec"
 )
+
+// ErrTransport marks a transport-layer failure — dial, encode, decode,
+// a connection dropped mid-exchange, a malformed frame — as opposed to
+// an application error the remote returned. Agents treat it like any
+// failed child (the subtree is masked, the election proceeds) and
+// clients test with errors.Is to decide whether re-electing another
+// SED makes sense.
+var ErrTransport = errors.New("transport failure")
 
 // The wire protocol is a minimal gob request/response exchange: one
 // message per connection-turn, multiplexed over a persistent
@@ -216,7 +225,7 @@ func (r *Remote) call(ctx context.Context, msg wireMsg) (wireReply, error) {
 		d := net.Dialer{Timeout: r.timeout}
 		conn, err := d.DialContext(ctx, "tcp", r.addr)
 		if err != nil {
-			return reply, fmt.Errorf("middleware: dialing %s (%s): %w", r.name, r.addr, err)
+			return reply, fmt.Errorf("middleware: dialing %s (%s): %w: %w", r.name, r.addr, ErrTransport, err)
 		}
 		r.conn = conn
 		r.enc = gob.NewEncoder(conn)
@@ -230,11 +239,11 @@ func (r *Remote) call(ctx context.Context, msg wireMsg) (wireReply, error) {
 	}
 	if err := r.enc.Encode(&msg); err != nil {
 		r.reset()
-		return reply, fmt.Errorf("middleware: sending to %s: %w", r.name, err)
+		return reply, fmt.Errorf("middleware: sending to %s: %w: %w", r.name, ErrTransport, err)
 	}
 	if err := r.dec.Decode(&reply); err != nil {
 		r.reset()
-		return reply, fmt.Errorf("middleware: reading from %s: %w", r.name, err)
+		return reply, fmt.Errorf("middleware: reading from %s: %w: %w", r.name, ErrTransport, err)
 	}
 	if reply.Err != "" {
 		return reply, fmt.Errorf("middleware: %s: %s", r.name, reply.Err)

@@ -1,0 +1,181 @@
+package middleware
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"greensched/internal/sched"
+)
+
+// Fault injection for the TCP transport: a connection dropped
+// mid-solve and a malformed gob frame must surface ErrTransport
+// promptly (no hang) and leave the hierarchy able to elect another
+// SED.
+
+// TestRemoteConnDroppedMidSolve: killing the endpoint while a solve is
+// in flight surfaces a typed transport error instead of hanging.
+func TestRemoteConnDroppedMidSolve(t *testing.T) {
+	release := make(chan struct{})
+	sed := newSED(t, "doomed", 1, 2e9, 100)
+	sed.Register(Service{Name: "slow", Solve: func(ctx context.Context, _ Request) ([]byte, error) {
+		select {
+		case <-release:
+			return []byte("late"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}})
+	ep, err := Serve("127.0.0.1:0", sed, sed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem := Dial("doomed", ep.Addr())
+	defer rem.Close()
+
+	closed := make(chan struct{})
+	go func() {
+		time.Sleep(100 * time.Millisecond) // let the solve get in flight
+		ep.Close()
+		close(closed)
+	}()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := rem.Solve(context.Background(), Request{ID: 1, Service: "slow", Ops: 1e6})
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrTransport) {
+			t.Fatalf("mid-solve drop err = %v, want ErrTransport", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dropped connection hung the solve")
+	}
+	close(release) // let the abandoned server-side execution finish
+	<-closed
+}
+
+// TestRemoteMalformedGobFrame: a peer speaking garbage instead of the
+// wire protocol surfaces ErrTransport, bounded by the remote timeout.
+func TestRemoteMalformedGobFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 512)
+		conn.Read(buf) // swallow the request frame
+		conn.Write([]byte("\x07NOT-A-GOB-FRAME\xff\xfe"))
+	}()
+
+	rem := Dial("garbled", ln.Addr().String())
+	rem.SetTimeout(2 * time.Second)
+	defer rem.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := rem.Estimate(context.Background(), Request{Service: "burn", Ops: 1e6})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTransport) {
+			t.Fatalf("malformed frame err = %v, want ErrTransport", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("malformed frame hung the estimate")
+	}
+}
+
+// TestRemoteApplicationErrorIsNotTransport: an error the remote SED
+// itself returned travels as an application error — re-electing will
+// not help, and callers must be able to tell the two apart.
+func TestRemoteApplicationErrorIsNotTransport(t *testing.T) {
+	sed := newSED(t, "honest", 1, 2e9, 100)
+	ep, err := Serve("127.0.0.1:0", sed, nil) // endpoint that cannot solve
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	rem := Dial("honest", ep.Addr())
+	defer rem.Close()
+	_, err = rem.Solve(context.Background(), Request{Service: "burn", Ops: 1e6})
+	if err == nil {
+		t.Fatal("solve against a non-solving endpoint should error")
+	}
+	if errors.Is(err, ErrTransport) {
+		t.Fatalf("application error misclassified as transport failure: %v", err)
+	}
+}
+
+// TestFailoverAfterTransportFault: when the elected SED's connection
+// dies mid-solve, the retry path re-elects another SED and the request
+// still completes — the hierarchy never hangs on one dead socket.
+func TestFailoverAfterTransportFault(t *testing.T) {
+	// The remote SED looks most attractive under POWER (lowest watts),
+	// so the first election lands on it.
+	doomed := newSED(t, "doomed", 1, 2e9, 50)
+	doomed.Register(Service{Name: "burn2", Solve: func(ctx context.Context, _ Request) ([]byte, error) {
+		select {
+		case <-time.After(5 * time.Second):
+			return []byte("late"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}})
+	healthy := newSED(t, "healthy", 1, 2e9, 400)
+	healthy.Register(Service{Name: "burn2", Solve: func(context.Context, Request) ([]byte, error) {
+		return []byte("rescued"), nil
+	}})
+	prime(t, map[string]*SED{"doomed": doomed, "healthy": healthy})
+
+	ep, err := Serve("127.0.0.1:0", doomed, doomed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem := Dial("doomed", ep.Addr())
+	defer rem.Close()
+
+	ma, err := NewMasterAgent("ma", sched.New(sched.Power))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma.Attach(rem, healthy)
+	ma.SetChildTimeout(2 * time.Second)
+	dir := NewMapDirectory()
+	dir.Add("doomed", rem)
+	dir.Add("healthy", healthy)
+	client, err := NewClient(ma, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: the doomed remote wins the first election.
+	server, _, err := ma.Elect(context.Background(), Request{Service: "burn2", Ops: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if server != "doomed" {
+		t.Fatalf("first election = %s, want doomed", server)
+	}
+
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		ep.Close() // drop the connection mid-solve
+	}()
+	resp, err := client.SubmitWithRetry(context.Background(), "burn2", 1e6, 0, nil, 2)
+	if err != nil {
+		t.Fatalf("failover submit: %v", err)
+	}
+	if resp.Server != "healthy" || string(resp.Output) != "rescued" {
+		t.Fatalf("resp = %+v, want rescue by healthy", resp)
+	}
+}

@@ -15,6 +15,7 @@ type Account struct {
 	OnTime    int // completed with non-positive lateness
 	Misses    int // completed past their deadline
 	Rejected  int // refused by admission control
+	Failed    int // admitted but lost to an execution failure
 
 	EarnedUSD    float64 // value actually credited (post-curve)
 	ForfeitedUSD float64 // value lost to lateness and rejections
@@ -95,6 +96,15 @@ func (l *Ledger) Reject(t Terms) {
 	a.ForfeitedUSD += t.ValueUSD
 }
 
+// Fail forfeits an admitted task's full value when its execution was
+// lost (crash, transport failure): the platform earns nothing, and the
+// loss must not vanish from the books the way a silent drop would.
+func (l *Ledger) Fail(t Terms) {
+	a := l.account(t.Class)
+	a.Failed++
+	a.ForfeitedUSD += t.ValueUSD
+}
+
 // Summary is the whole-run revenue picture, with the run's energy and
 // emissions divided into per-dollar intensities.
 type Summary struct {
@@ -106,6 +116,7 @@ type Summary struct {
 	OnTime    int
 	Misses    int
 	Rejected  int
+	Failed    int
 
 	// JoulesPerUSD and GramsPerUSD are the run's energy/emissions per
 	// net dollar earned; +Inf when the run earned nothing.
@@ -139,6 +150,7 @@ func (l *Ledger) Summarize(energyJ, co2Grams float64) Summary {
 		s.OnTime += a.OnTime
 		s.Misses += a.Misses
 		s.Rejected += a.Rejected
+		s.Failed += a.Failed
 		s.PerClass = append(s.PerClass, *a)
 	}
 	if net := s.NetUSD(); net > 0 {
