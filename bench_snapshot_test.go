@@ -1,0 +1,161 @@
+// Perf trajectory: two hot-path benchmarks plus a snapshot emitter.
+// BenchmarkSimHotPath times the simulator's per-task scheduling loop
+// (the engine under every figure) and BenchmarkLiveMasterThroughput
+// times the fully instrumented live serving path — SLA admission,
+// telemetry interceptor, election, solve — in requests per second.
+//
+// TestBenchSnapshot (gated behind BENCH_SNAPSHOT=1 so regular `go
+// test` stays fast) runs both via testing.Benchmark and writes
+// BENCH_6.json: ns/op and allocs/op for the sim hot path and req/s
+// for the live path. Re-run with
+//
+//	BENCH_SNAPSHOT=1 go test -run TestBenchSnapshot -count=1 .
+//
+// to refresh the committed snapshot after perf-relevant changes.
+package greensched
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"greensched/internal/cluster"
+	"greensched/internal/middleware"
+	"greensched/internal/obs"
+	"greensched/internal/sched"
+	"greensched/internal/sim"
+	"greensched/internal/workload"
+)
+
+const simHotPathTasks = 256
+
+// BenchmarkSimHotPath drives the simulator's inner loop — arrival,
+// estimation-vector election, slot accounting, energy attribution —
+// over a fixed workload on the paper platform. ns/op divided by the
+// "tasks" metric is the per-task scheduling cost.
+func BenchmarkSimHotPath(b *testing.B) {
+	platform := cluster.PaperPlatform()
+	tasks, err := workload.BurstThenRate{
+		Total: simHotPathTasks, Burst: 64, Rate: 4, Ops: 9e11,
+	}.Tasks()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Platform: platform,
+			Policy:   sched.New(sched.GreenPerf),
+			Tasks:    tasks,
+			Explore:  true,
+			Seed:     1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != simHotPathTasks {
+			b.Fatalf("completed %d of %d tasks", res.Completed, simHotPathTasks)
+		}
+	}
+	b.ReportMetric(simHotPathTasks, "tasks")
+}
+
+// BenchmarkLiveMasterThroughput measures the live serving path with
+// the full observability PR in place: an ObsInterceptor counting and
+// tracing every request ahead of election, two metered SEDs, and
+// instant services — so the number is middleware overhead, not solver
+// time. The req/s metric is what BENCH_6.json records.
+func BenchmarkLiveMasterThroughput(b *testing.B) {
+	sedFor := func(name string, watts float64) *middleware.SED {
+		sed, err := middleware.NewSED(middleware.SEDConfig{
+			Name:  name,
+			Slots: 4,
+			Interceptors: []middleware.Interceptor{
+				&middleware.MeterInterceptor{Meter: func() (float64, bool) { return watts, true }},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sed.Register(middleware.Service{
+			Name:  "compute",
+			Solve: func(ctx context.Context, req middleware.Request) ([]byte, error) { return nil, nil },
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return sed
+	}
+	master, err := middleware.NewMaster(
+		middleware.WithPolicy(sched.New(sched.GreenPerf)),
+		middleware.WithSEDs(sedFor("lean", 60), sedFor("hungry", 400)),
+		middleware.WithInterceptors(&middleware.ObsInterceptor{Registry: obs.NewRegistry()}),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	// Learning phase, exactly like the live study: warmups teach the
+	// dynamic estimators each node's speed so the timed elections
+	// exercise the real ranking, not the unknown-server fallback.
+	for i := 0; i < 8; i++ {
+		if _, err := master.Do(ctx, middleware.Request{Service: "compute", Ops: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := master.Do(ctx, middleware.Request{Service: "compute", Ops: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	if res := master.Finalize(); res.Completed != b.N+8 {
+		b.Fatalf("ledger counted %d of %d requests", res.Completed, b.N+8)
+	}
+}
+
+// TestBenchSnapshot writes BENCH_6.json — the perf snapshot CI and
+// future PRs diff against. Gated so the tier-1 test run stays cheap.
+func TestBenchSnapshot(t *testing.T) {
+	if os.Getenv("BENCH_SNAPSHOT") == "" {
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_6.json")
+	}
+	type entry struct {
+		NsPerOp     int64              `json:"ns_per_op"`
+		AllocsPerOp int64              `json:"allocs_per_op"`
+		N           int                `json:"n"`
+		Extra       map[string]float64 `json:"extra,omitempty"`
+	}
+	snap := struct {
+		Go      string           `json:"go"`
+		Benches map[string]entry `json:"benches"`
+	}{Go: runtime.Version(), Benches: map[string]entry{}}
+
+	for name, fn := range map[string]func(*testing.B){
+		"BenchmarkSimHotPath":           BenchmarkSimHotPath,
+		"BenchmarkLiveMasterThroughput": BenchmarkLiveMasterThroughput,
+	} {
+		r := testing.Benchmark(fn)
+		e := entry{NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), N: r.N}
+		if len(r.Extra) > 0 {
+			e.Extra = map[string]float64{}
+			for k, v := range r.Extra {
+				e.Extra[k] = v
+			}
+		}
+		snap.Benches[name] = e
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_6.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_6.json:\n%s", data)
+}

@@ -20,9 +20,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"greensched/internal/cluster"
 	"greensched/internal/experiments"
+	"greensched/internal/obs"
 	"greensched/internal/sched"
 	"greensched/internal/sim"
 	"greensched/internal/trace"
@@ -54,11 +56,13 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "deterministic simulation seed")
 	static := fs.Bool("static", false, "use the static (initial benchmark) estimation approach instead of dynamic learning")
 	csvDir := fs.String("csv", "", "also export figure data as CSV files into this directory")
-	traceFile := fs.String("trace", "", "replay: submission trace file (submit_seconds,ops[,preference] lines)")
+	traceFile := fs.String("trace", "", "replay: submission trace file to read; live/scenario: lifecycle JSONL file to write")
 	seeds := fs.Int("seeds", 10, "replicate: number of independent seeds")
 	policyName := fs.String("policy", "GREENPERF", "replay: scheduling policy (RANDOM|POWER|PERFORMANCE|GREENPERF|LEASTLOADED|CARBON|RENEWABLE)")
 	days := fs.Int("days", 2, "carbon: scenario length in days")
 	burst := fs.Int("burst", 0, "carbon: deferrable tasks per evening burst (0 = default)")
+	metricsAddr := fs.String("metrics", "", "live: serve Prometheus-style /metrics (and pprof) on this host:port for the study's fleet telemetry")
+	holdSec := fs.Float64("hold", 0, "live: keep the -metrics endpoint up this many seconds after the study finishes (for external scrapers)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return errUsage
 	}
@@ -83,9 +87,9 @@ func run(args []string, out io.Writer) error {
 	case "preempt":
 		return runPreempt(out, *seed)
 	case "scenario":
-		return runScenario(out, *seed)
+		return runScenario(out, *seed, *traceFile)
 	case "live":
-		return runLive(out)
+		return runLive(out, *metricsAddr, *traceFile, *holdSec)
 	case "replay":
 		return runReplay(out, *traceFile, *policyName, *seed)
 	case "all":
@@ -123,7 +127,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		return runScenario(out, *seed)
+		return runScenario(out, *seed, "")
 	case "-h", "--help", "help":
 		usage(out)
 		return nil
@@ -142,25 +146,73 @@ func runConsolidation(out io.Writer, seed int64) error {
 	return res.Render(out)
 }
 
-func runScenario(out io.Writer, seed int64) error {
+func runScenario(out io.Writer, seed int64, traceFile string) error {
 	cfg := experiments.DefaultComposedConfig()
 	cfg.SLA.Seed = seed
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Trace = f
+	}
 	res, err := experiments.RunComposedStudy(cfg)
 	if err != nil {
 		return err
 	}
-	return res.Render(out)
+	if err := res.Render(out); err != nil {
+		return err
+	}
+	if traceFile != "" {
+		fmt.Fprintf(out, "\nlifecycle trace (COMPOSED run) written to %s\n", traceFile)
+	}
+	return nil
 }
 
 // runLive executes the composed LIVE middleware demo. It runs on the
 // wall clock (sub-second grid windows, millisecond solves), so it
-// takes no seed and is excluded from `all`.
-func runLive(out io.Writer) error {
-	res, err := experiments.RunLiveComposedStudy(experiments.DefaultLiveComposedConfig())
+// takes no seed and is excluded from `all`. With -metrics it serves
+// the study's fleet telemetry as a Prometheus-style endpoint (plus
+// pprof), and -hold keeps that endpoint up after the study finishes so
+// an external scraper can read the final totals; -trace streams both
+// masters' lifecycle events to a JSONL file.
+func runLive(out io.Writer, metricsAddr, traceFile string, holdSec float64) error {
+	cfg := experiments.DefaultLiveComposedConfig()
+	var srv *obs.Server
+	if metricsAddr != "" {
+		cfg.Registry = obs.NewRegistry()
+		var err error
+		srv, err = obs.ListenAndServe(metricsAddr, cfg.Registry)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "serving /metrics and /debug/pprof on http://%s\n\n", srv.Addr())
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.TraceW = f
+	}
+	res, err := experiments.RunLiveComposedStudy(cfg)
 	if err != nil {
 		return err
 	}
-	return res.Render(out)
+	if err := res.Render(out); err != nil {
+		return err
+	}
+	if traceFile != "" {
+		fmt.Fprintf(out, "\nlifecycle trace written to %s\n", traceFile)
+	}
+	if srv != nil && holdSec > 0 {
+		fmt.Fprintf(out, "\nholding the metrics endpoint for %.0fs (http://%s/metrics)\n", holdSec, srv.Addr())
+		time.Sleep(time.Duration(holdSec * float64(time.Second)))
+	}
+	return nil
 }
 
 func runPreempt(out io.Writer, seed int64) error {
@@ -342,5 +394,9 @@ flags:
   -burst N    carbon only: deferrable tasks per evening burst
   -static     placement / replicate: static estimation ablation
   -csv DIR    also export figure data as CSV files
+  -metrics A  live only: serve /metrics and /debug/pprof on host:port A
+  -hold N     live only: keep the -metrics endpoint up N seconds after the study
+  -trace F    replay: read the submission trace from F;
+              live/scenario: write lifecycle events to F as JSONL
 `)
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"greensched/internal/obs"
 )
 
 // TestCarbonCommandSmoke runs the carbon study end-to-end through the
@@ -116,6 +118,85 @@ func TestLiveCommandSmoke(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
+}
+
+// TestLiveCommandObservability runs the live study with the fleet
+// telemetry flags: the /metrics endpoint must serve parseable
+// exposition text while the study runs, and -trace must leave a valid
+// JSONL lifecycle stream covering both transports.
+func TestLiveCommandObservability(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "live.jsonl")
+	var b strings.Builder
+	if err := run([]string{"live", "-metrics", "127.0.0.1:0", "-trace", tracePath}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"serving /metrics", "lifecycle trace written"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	srcs := map[string]bool{}
+	kinds := map[string]bool{}
+	for _, ev := range events {
+		srcs[ev.Src] = true
+		kinds[ev.Event] = true
+	}
+	for _, src := range []string{"live-IN-PROCESS", "live-TCP"} {
+		if !srcs[src] {
+			t.Errorf("trace missing events from %s (got %v)", src, srcs)
+		}
+	}
+	for _, kind := range []string{obs.EventSubmit, obs.EventComplete, obs.EventReject, obs.EventDefer} {
+		if !kinds[kind] {
+			t.Errorf("trace missing %s events (got %v)", kind, kinds)
+		}
+	}
+}
+
+// TestScenarioCommandTrace writes the composed sim run's lifecycle
+// trace and checks it parses with the same schema the live path emits.
+func TestScenarioCommandTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "scenario.jsonl")
+	var b strings.Builder
+	if err := run([]string{"scenario", "-seed", "1", "-trace", tracePath}, &b); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty lifecycle trace")
+	}
+	for _, ev := range events[:min(len(events), 50)] {
+		if ev.Src != "sim" || ev.Event == "" {
+			t.Fatalf("malformed event: %+v", ev)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func TestUnknownCommandAndMissingArgs(t *testing.T) {

@@ -35,6 +35,14 @@
 //	                        both guarded by pending deadline slack, able
 //	                        to preempt batch for urgent work, and
 //	                        mountable as a consolidation.Module
+//	internal/obs            fleet telemetry: Prometheus-style metric
+//	                        registry + text exposition (no client_golang),
+//	                        HTTP serving with pprof, and the JSONL
+//	                        lifecycle tracer shared by middleware
+//	                        (ObsInterceptor, WithMetricsAddr,
+//	                        SEDConfig.MetricsAddr) and the simulator
+//	                        (sim.TraceModule)
+//	internal/stats          gains, EDP and summary helpers for the harnesses
 //	internal/analysis       Student-t / Welch statistics for multi-seed replication
 //	internal/experiments    one harness per table/figure + extension studies
 //	cmd/greensched          CLI to regenerate the evaluation

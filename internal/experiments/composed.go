@@ -52,6 +52,12 @@ type ComposedConfig struct {
 	// burn-down.
 	BudgetJ          float64
 	BudgetHorizonSec float64
+
+	// Trace, when set, receives the COMPOSED run's lifecycle events as
+	// JSONL (sim.TraceModule) — the same schema the live study's
+	// ObsInterceptor emits, so the two paths' traces are directly
+	// comparable.
+	Trace io.Writer
 }
 
 // DefaultComposedConfig returns the calibrated scenario: the SLA
@@ -220,6 +226,9 @@ func RunComposedStudy(cfg ComposedConfig) (*ComposedResult, error) {
 					DeadlineSlackSec: scen.DeadlineSlackSec,
 					PreemptBatch:     true,
 				}},
+			}
+			if cfg.Trace != nil {
+				mods = append(mods, &sim.TraceModule{W: cfg.Trace})
 			}
 			opts = append(opts,
 				sim.WithPolicy(sched.New(sched.Carbon)),

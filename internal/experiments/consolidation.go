@@ -6,10 +6,10 @@ import (
 
 	"greensched/internal/cluster"
 	"greensched/internal/consolidation"
-	"greensched/internal/metrics"
 	"greensched/internal/report"
 	"greensched/internal/sched"
 	"greensched/internal/sim"
+	"greensched/internal/stats"
 	"greensched/internal/workload"
 )
 
@@ -170,7 +170,7 @@ func (r *ConsolidationResult) Render(w io.Writer) error {
 	cons, ok2 := r.Run(consolidation.PolicyName)
 	if ok1 && ok2 {
 		fmt.Fprintf(w, "\nidle shutdown saving vs always-on POWER: %.1f%% (idle gap %s)\n",
-			metrics.Gain(pw.EnergyJ, cons.EnergyJ)*100, "in the workload")
+			stats.Gain(pw.EnergyJ, cons.EnergyJ)*100, "in the workload")
 	}
 	return nil
 }

@@ -7,11 +7,11 @@ import (
 	"greensched/internal/cluster"
 	"greensched/internal/core"
 	"greensched/internal/forecast"
-	"greensched/internal/metrics"
 	"greensched/internal/provision"
 	"greensched/internal/report"
 	"greensched/internal/sched"
 	"greensched/internal/sim"
+	"greensched/internal/stats"
 	"greensched/internal/workload"
 )
 
@@ -124,7 +124,7 @@ func RunTariffDays(days int, seed int64) (*TariffResult, error) {
 	return &TariffResult{
 		Adaptive:        res,
 		BaselineEnergyJ: baseline,
-		Saving:          metrics.Gain(baseline, res.EnergyJ),
+		Saving:          stats.Gain(baseline, res.EnergyJ),
 	}, nil
 }
 

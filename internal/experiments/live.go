@@ -11,6 +11,7 @@ import (
 	"greensched/internal/budget"
 	"greensched/internal/carbon"
 	"greensched/internal/middleware"
+	"greensched/internal/obs"
 	"greensched/internal/report"
 	"greensched/internal/sched"
 	"greensched/internal/sla"
@@ -30,6 +31,14 @@ const (
 	LiveTransportInProcess = "IN-PROCESS"
 	LiveTransportTCP       = "TCP"
 )
+
+// transportLabel maps a transport name to its metric label value.
+func transportLabel(transport string) string {
+	if transport == LiveTransportTCP {
+		return "tcp"
+	}
+	return "in-process"
+}
 
 // Live SLA class names (the catalog is deployment-specific: real
 // wall-clock deadlines, not the simulator's hour-scale ones).
@@ -72,6 +81,16 @@ type LiveComposedConfig struct {
 	// asserts exact metering, not starvation.
 	BudgetJ          float64
 	BudgetHorizonSec float64
+
+	// Registry, when set, receives fleet telemetry: each transport's
+	// master mounts an ObsInterceptor FIRST in its stack, publishing
+	// into this shared registry under a transport label
+	// ({transport="in-process"} / {transport="tcp"}), so one /metrics
+	// endpoint covers the whole study.
+	Registry *obs.Registry
+	// TraceW, when set, receives both masters' lifecycle events (and
+	// the carbon interceptor's defer events) as one JSONL stream.
+	TraceW io.Writer
 }
 
 // DefaultLiveComposedConfig returns the calibrated sub-second
@@ -286,12 +305,20 @@ func runLiveComposed(cfg LiveComposedConfig, transport string) (LiveComposedRun,
 	if err != nil {
 		return LiveComposedRun{}, err
 	}
-	// Stack order: the SLA layer first (resolve terms, admit or
-	// reject before anything is parked — and its resolved deadlines
-	// keep urgent traffic out of the green window below), then the
-	// carbon window, then budget metering. Finalize runs in reverse,
-	// so the ledger summary divides by the grams and joules the later
-	// interceptors published.
+	// Optional fleet telemetry: both runs execute sequentially, so two
+	// tracers over one writer never interleave a line.
+	var tracer *obs.Tracer
+	if cfg.TraceW != nil {
+		tracer = obs.NewTracer(cfg.TraceW)
+	}
+	// Stack order: observability first (it must see every submission
+	// before admission can refuse it, and reverse-order Finalize then
+	// runs it last, over the totals the whole stack published), the SLA
+	// layer next (resolve terms, admit or reject before anything is
+	// parked — and its resolved deadlines keep urgent traffic out of
+	// the green window below), then the carbon window, then budget
+	// metering. Finalize runs in reverse, so the ledger summary divides
+	// by the grams and joules the later interceptors published.
 	ics := []middleware.Interceptor{
 		&middleware.SLAInterceptor{
 			Config: &sla.Config{
@@ -304,8 +331,16 @@ func runLiveComposed(cfg LiveComposedConfig, transport string) (LiveComposedRun,
 			Signal:      sig,
 			DirtyG:      (cfg.CleanG + cfg.DirtyG) / 2,
 			MaxDeferSec: cfg.MaxDeferSec, PollSec: cfg.PollSec,
+			Tracer: tracer,
 		},
 		&middleware.BudgetInterceptor{Tracker: tracker},
+	}
+	if cfg.Registry != nil || tracer != nil {
+		ics = append([]middleware.Interceptor{&middleware.ObsInterceptor{
+			Registry: cfg.Registry,
+			Tracer:   tracer,
+			Labels:   map[string]string{"transport": transportLabel(transport)},
+		}}, ics...)
 	}
 
 	opts := []middleware.Option{

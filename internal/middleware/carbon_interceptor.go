@@ -8,6 +8,7 @@ import (
 
 	"greensched/internal/carbon"
 	"greensched/internal/estvec"
+	"greensched/internal/obs"
 )
 
 // CarbonInterceptor puts the grid on the live serving path — the
@@ -54,9 +55,15 @@ type CarbonInterceptor struct {
 	// PollSec is the re-check interval while deferred (0 = 50ms).
 	PollSec float64
 
+	// Tracer, when set, receives an obs.EventDefer for every request
+	// released after a parked wait. Nil is a no-op.
+	Tracer *obs.Tracer
+
 	clock func() float64
+	src   string
 
 	mu          sync.Mutex
+	parked      map[uint64]float64 // request ID → park time on the mount's clock
 	deferred    int
 	deferredSec float64
 	grams       float64
@@ -73,8 +80,10 @@ func (c *CarbonInterceptor) Init(mount Mount) error {
 	if c.PollSec < 0 {
 		return fmt.Errorf("middleware: carbon interceptor PollSec %v negative", c.PollSec)
 	}
+	c.parked = make(map[uint64]float64)
 	if mount.Master != nil {
 		c.clock = mount.Master.Now
+		c.src = mount.Master.Name()
 	} else {
 		epoch := c.Epoch
 		if epoch.IsZero() {
@@ -126,11 +135,17 @@ func (c *CarbonInterceptor) OnSubmit(ctx context.Context, now float64, req *Requ
 		poll = 0.05
 	}
 	start := now
+	c.mu.Lock()
+	c.parked[req.ID] = start
+	c.mu.Unlock()
 	ticker := time.NewTicker(time.Duration(poll * float64(time.Second)))
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
+			c.mu.Lock()
+			delete(c.parked, req.ID)
+			c.mu.Unlock()
 			return ctx.Err()
 		case <-ticker.C:
 		}
@@ -141,10 +156,30 @@ func (c *CarbonInterceptor) OnSubmit(ctx context.Context, now float64, req *Requ
 		}
 	}
 	c.mu.Lock()
+	delete(c.parked, req.ID)
 	c.deferred++
 	c.deferredSec += now - start
 	c.mu.Unlock()
+	c.Tracer.Emit(obs.Event{T: now, Event: obs.EventDefer, ID: req.ID, Src: c.src, Class: req.Class, DurSec: now - start})
 	return nil
+}
+
+// DeferralStats implements DeferralReporter: the currently parked
+// queue — how many requests are waiting out a dirty window and how
+// long the oldest has waited, as of now on the mount's clock. This is
+// what Master.Deferred aggregates for the observability surface: a
+// parked request is visible here BEFORE its window opens or its
+// deferral bound expires.
+func (c *CarbonInterceptor) DeferralStats(now float64) DeferralStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := DeferralStats{Parked: len(c.parked)}
+	for _, since := range c.parked {
+		if age := now - since; age > st.OldestSec {
+			st.OldestSec = age
+		}
+	}
+	return st
 }
 
 // OnComplete implements Interceptor: the completion's energy share is

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"greensched/internal/core"
+	"greensched/internal/obs"
 	"greensched/internal/sched"
 )
 
@@ -33,17 +34,20 @@ type Master struct {
 
 	mu      sync.Mutex
 	energyJ float64
+
+	metrics *obs.Server
 }
 
 // masterConfig is what the functional options assemble.
 type masterConfig struct {
-	agent     AgentConfig
-	transport Directory
-	filter    CandidateFilter
-	children  []Child
-	seds      []*SED
-	remotes   []*Remote
-	clock     func() float64
+	agent       AgentConfig
+	transport   Directory
+	filter      CandidateFilter
+	children    []Child
+	seds        []*SED
+	remotes     []*Remote
+	clock       func() float64
+	metricsAddr string
 }
 
 // Option configures NewMaster.
@@ -103,6 +107,17 @@ func WithSEDs(seds ...*SED) Option {
 // transport — the one-line wiring for TCP deployments.
 func WithRemotes(remotes ...*Remote) Option {
 	return func(c *masterConfig) { c.remotes = append(c.remotes, remotes...) }
+}
+
+// WithMetricsAddr starts an observability listener (host:port;
+// host:0 picks a free port) serving /metrics, /healthz and
+// net/http/pprof for the master's telemetry. It requires an
+// ObsInterceptor in the stack — the listener serves that interceptor's
+// registry (the first one found, which is shared when several mounts
+// share one). The listener's resolved address is MetricsAddr; Close
+// shuts it down.
+func WithMetricsAddr(addr string) Option {
+	return func(c *masterConfig) { c.metricsAddr = addr }
 }
 
 // WithClock overrides the master's clock (seconds, monotone). The
@@ -185,7 +200,43 @@ func NewMaster(opts ...Option) (*Master, error) {
 			return nil, fmt.Errorf("middleware: master %s: %w", cfg.agent.Name, err)
 		}
 	}
+	if cfg.metricsAddr != "" {
+		var reg *obs.Registry
+		for _, ic := range m.ics {
+			if mp, ok := ic.(interface{ Metrics() *obs.Registry }); ok && mp.Metrics() != nil {
+				reg = mp.Metrics()
+				break
+			}
+		}
+		if reg == nil {
+			return nil, fmt.Errorf("middleware: master %s: WithMetricsAddr needs an ObsInterceptor in the stack", cfg.agent.Name)
+		}
+		srv, err := obs.ListenAndServe(cfg.metricsAddr, reg)
+		if err != nil {
+			return nil, fmt.Errorf("middleware: master %s: metrics listener: %w", cfg.agent.Name, err)
+		}
+		m.metrics = srv
+	}
 	return m, nil
+}
+
+// MetricsAddr is the observability listener's resolved host:port, or
+// "" when WithMetricsAddr was not used.
+func (m *Master) MetricsAddr() string {
+	if m.metrics == nil {
+		return ""
+	}
+	return m.metrics.Addr()
+}
+
+// Close shuts the master's observability listener down (a no-op
+// without one). The interceptor stack itself needs no teardown beyond
+// Finalize.
+func (m *Master) Close() error {
+	if m.metrics == nil {
+		return nil
+	}
+	return m.metrics.Close()
 }
 
 // Now returns seconds on the master's clock.
@@ -297,6 +348,41 @@ func (m *Master) Finalize() *LiveResult {
 		m.ics[i].Finalize(res)
 	}
 	return res
+}
+
+// DeferralStats snapshots a parked carbon-deferral queue.
+type DeferralStats struct {
+	// Parked counts requests currently waiting out a dirty window.
+	Parked int
+	// OldestSec is the age of the longest-waiting parked request
+	// (0 when nothing is parked).
+	OldestSec float64
+}
+
+// DeferralReporter is the optional interceptor surface behind
+// Master.Deferred. CarbonInterceptor implements it.
+type DeferralReporter interface {
+	DeferralStats(now float64) DeferralStats
+}
+
+// Deferred aggregates the parked carbon-deferral queues across the
+// interceptor stack: total parked requests and the age of the oldest.
+// A request held back by a dirty-grid window appears here from the
+// moment it parks — before its window opens — which is what makes the
+// deferral queue observable while Do blocks on it.
+func (m *Master) Deferred() DeferralStats {
+	now := m.clock()
+	var agg DeferralStats
+	for _, ic := range m.ics {
+		if dr, ok := ic.(DeferralReporter); ok {
+			st := dr.DeferralStats(now)
+			agg.Parked += st.Parked
+			if st.OldestSec > agg.OldestSec {
+				agg.OldestSec = st.OldestSec
+			}
+		}
+	}
+	return agg
 }
 
 // statser is the optional stats surface in-process SEDs expose through

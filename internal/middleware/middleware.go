@@ -21,6 +21,7 @@ import (
 
 	"greensched/internal/core"
 	"greensched/internal/estvec"
+	"greensched/internal/obs"
 	"greensched/internal/power"
 	"greensched/internal/sched"
 )
@@ -136,6 +137,14 @@ type SEDConfig struct {
 	// is provisioned from cold.
 	BootSec    float64
 	BootPowerW float64
+
+	// MetricsAddr, when set (host:port; host:0 picks a free port),
+	// starts a per-node observability listener serving /metrics,
+	// /healthz and net/http/pprof. The greensched_sed_* gauges are
+	// labeled {sed="Name"} and refresh from Stats at every scrape.
+	// The listener's resolved address is SED.MetricsAddr; SED.Close
+	// shuts it down.
+	MetricsAddr string
 }
 
 // SED is a Server Daemon: a service provider with bounded concurrency,
@@ -161,7 +170,8 @@ type SED struct {
 	est       *power.Estimator
 	execTotal float64 // summed execution seconds of completed requests
 
-	active atomic.Bool
+	active  atomic.Bool
+	metrics *obs.Server
 }
 
 // SEDStats is a point-in-time observability snapshot of one SED.
@@ -265,7 +275,32 @@ func NewSED(cfg SEDConfig) (*SED, error) {
 		}
 	}
 	s.estFn = est
+	if cfg.MetricsAddr != "" {
+		srv, err := startSEDMetrics(s, cfg.MetricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("middleware: SED %s: metrics listener: %w", cfg.Name, err)
+		}
+		s.metrics = srv
+	}
 	return s, nil
+}
+
+// MetricsAddr is the SED's observability listener's resolved
+// host:port, or "" when SEDConfig.MetricsAddr was not set.
+func (s *SED) MetricsAddr() string {
+	if s.metrics == nil {
+		return ""
+	}
+	return s.metrics.Addr()
+}
+
+// Close shuts the SED's observability listener down (a no-op without
+// one). The SED itself keeps serving.
+func (s *SED) Close() error {
+	if s.metrics == nil {
+		return nil
+	}
+	return s.metrics.Close()
 }
 
 // readPower polls the SED's power sources in stack order and returns

@@ -1,0 +1,236 @@
+package middleware
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"greensched/internal/estvec"
+	"greensched/internal/obs"
+)
+
+// ObsInterceptor puts the whole request lifecycle on a scrape
+// endpoint — the observability mirror of the accounting the other
+// interceptors already do. Mounted on a Master (FIRST in the stack, so
+// it sees every submission before admission control can refuse it), it
+// maintains:
+//
+//   - counters: requests, completions, failures, rejections, per-server
+//     elections, carbon deferrals (count and parked seconds);
+//   - gauges: in-flight requests, the parked deferral queue (count and
+//     oldest age, from Master.Deferred), and the ledger — attributed
+//     energy, CO2 grams, budget joules, earned/penalty/forfeited
+//     dollars — refreshed from the interceptor stack's own Finalize
+//     totals at every scrape, so the endpoint always agrees with the
+//     books;
+//   - histograms: solve latency and attributed energy per request.
+//
+// Init registers a scrape collector that runs Master.Finalize before
+// each render (Finalize is documented to re-publish current totals),
+// which is what keeps a live scrape and an end-of-run study printout
+// byte-for-byte consistent.
+//
+// Several masters may share one Registry: give each mount distinct
+// Labels values (the same label KEYS — exposition families are shared)
+// and every series splits cleanly, e.g. {transport="tcp"} next to
+// {transport="inproc"}.
+//
+// With a Tracer attached the interceptor also emits the structured
+// lifecycle events (submit → admit → elect → solve → complete, or
+// reject/fail), in the exact JSONL schema sim.TraceModule emits for a
+// simulated run.
+type ObsInterceptor struct {
+	BaseInterceptor
+
+	// Registry receives the metric families; nil means a private
+	// registry created at Init (reachable via Metrics).
+	Registry *obs.Registry
+	// Tracer, when set, receives lifecycle events. A nil tracer is a
+	// no-op.
+	Tracer *obs.Tracer
+	// Labels are constant labels stamped on every metric this mount
+	// produces. All mounts sharing a Registry must use the same label
+	// keys.
+	Labels map[string]string
+
+	master *Master
+	src    string
+	names  []string // sorted label names
+	vals   []string // label values, parallel to names
+
+	requests    obs.Counter
+	completions obs.Counter
+	failures    obs.Counter
+	rejections  obs.Counter
+	deferrals   obs.Counter
+	deferredSec obs.Counter
+	elections   *obs.CounterVec
+
+	inflight     obs.Gauge
+	parked       obs.Gauge
+	parkedOldest obs.Gauge
+	energyJ      obs.Gauge
+	co2Grams     obs.Gauge
+	budgetJ      obs.Gauge
+	earnedUSD    obs.Gauge
+	penaltyUSD   obs.Gauge
+	forfeitUSD   obs.Gauge
+
+	solveSec  obs.Histogram
+	energyReq obs.Histogram
+
+	mu           sync.Mutex
+	seen         map[uint64]struct{}
+	lastDeferred float64
+	lastDefSec   float64
+}
+
+// Metrics returns the registry the interceptor publishes into —
+// the one given, or the private one Init created.
+func (o *ObsInterceptor) Metrics() *obs.Registry { return o.Registry }
+
+// Init implements Interceptor: it resolves the label set, registers
+// every family, and hooks the scrape-time refresh.
+func (o *ObsInterceptor) Init(mount Mount) error {
+	if mount.Master == nil {
+		return fmt.Errorf("middleware: obs interceptor mounts on a Master")
+	}
+	o.master = mount.Master
+	o.src = mount.Master.Name()
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	o.names = make([]string, 0, len(o.Labels))
+	for k := range o.Labels {
+		o.names = append(o.names, k)
+	}
+	sort.Strings(o.names)
+	o.vals = make([]string, len(o.names))
+	for i, k := range o.names {
+		o.vals[i] = o.Labels[k]
+	}
+	o.seen = make(map[uint64]struct{})
+
+	reg := o.Registry
+	counter := func(name, help string) obs.Counter {
+		return reg.CounterVec(name, help, o.names...).With(o.vals...)
+	}
+	gauge := func(name, help string) obs.Gauge {
+		return reg.GaugeVec(name, help, o.names...).With(o.vals...)
+	}
+	o.requests = counter("greensched_requests_total", "Requests submitted to the master.")
+	o.completions = counter("greensched_completions_total", "Requests solved successfully.")
+	o.failures = counter("greensched_failures_total", "Requests failed after admission (election, transport, execution).")
+	o.rejections = counter("greensched_rejections_total", "Submissions refused by admission control.")
+	o.deferrals = counter("greensched_deferrals_total", "Requests released after a carbon-window deferral.")
+	o.deferredSec = counter("greensched_deferred_seconds_total", "Seconds requests spent parked in carbon-window deferrals.")
+	o.elections = reg.CounterVec("greensched_elections_total",
+		"Elections won, by SED.", append(append([]string{}, o.names...), "server")...)
+
+	o.inflight = gauge("greensched_inflight", "Admitted requests currently in the lifecycle (including parked).")
+	o.parked = gauge("greensched_deferred_parked", "Carbon-deferred requests currently parked.")
+	o.parkedOldest = gauge("greensched_deferred_oldest_age_seconds", "Age of the oldest currently parked request.")
+	o.energyJ = gauge("greensched_energy_joules", "Attributed energy of all completions (LiveResult.EnergyJ).")
+	o.co2Grams = gauge("greensched_co2_grams", "Emissions attribution (LiveResult.CO2Grams).")
+	o.budgetJ = gauge("greensched_budget_spent_joules", "Energy the budget tracker metered (LiveResult.BudgetSpentJ).")
+	o.earnedUSD = gauge("greensched_ledger_earned_dollars", "SLA ledger dollars earned.")
+	o.penaltyUSD = gauge("greensched_ledger_penalty_dollars", "SLA ledger contractual penalties.")
+	o.forfeitUSD = gauge("greensched_ledger_forfeited_dollars", "SLA ledger value forfeited by rejections and failures.")
+
+	solveB := append([]float64{0.001, 0.0025}, obs.DefBuckets...)
+	o.solveSec = reg.HistogramVec("greensched_solve_seconds",
+		"Solve latency of successful requests.", solveB, o.names...).With(o.vals...)
+	o.energyReq = reg.HistogramVec("greensched_request_energy_joules",
+		"Attributed energy share per successful request.", obs.ExpBuckets(0.001, 10, 12), o.names...).With(o.vals...)
+
+	// Scrape-time refresh: the ledger gauges re-publish through the
+	// stack's Finalize (idempotent by contract), and the parked-queue
+	// gauges read Master.Deferred, so any scraper sees totals that
+	// agree with the books at that instant.
+	master := mount.Master
+	reg.OnScrape(func() {
+		st := master.Deferred()
+		o.parked.Set(float64(st.Parked))
+		o.parkedOldest.Set(st.OldestSec)
+		master.Finalize()
+	})
+	return nil
+}
+
+// OnSubmit implements Interceptor: every submission counts, enters the
+// in-flight gauge and emits a submit event.
+func (o *ObsInterceptor) OnSubmit(_ context.Context, now float64, req *Request) error {
+	o.requests.Inc()
+	o.inflight.Inc()
+	o.mu.Lock()
+	o.seen[req.ID] = struct{}{}
+	o.mu.Unlock()
+	o.Tracer.Emit(obs.Event{T: now, Event: obs.EventSubmit, ID: req.ID, Src: o.src, Class: req.Class})
+	return nil
+}
+
+// OnElect implements Interceptor: the election's winner is counted and
+// the admit + elect transitions hit the trace (an elected request has,
+// by construction, cleared every admission screen before it).
+func (o *ObsInterceptor) OnElect(now float64, req Request, server string, _ estvec.List) {
+	o.elections.With(append(append([]string{}, o.vals...), server)...).Inc()
+	o.Tracer.Emit(obs.Event{T: now, Event: obs.EventAdmit, ID: req.ID, Src: o.src, Class: req.Class})
+	o.Tracer.Emit(obs.Event{T: now, Event: obs.EventElect, ID: req.ID, Src: o.src, Class: req.Class, Server: server})
+}
+
+// OnComplete implements Interceptor: outcomes split into completions,
+// rejections and failures; latency and energy reach the histograms.
+// Records for requests this interceptor never saw submit (possible
+// when it is mounted after a rejecting interceptor) still count as
+// requests, so the counters stay consistent at any mount position.
+func (o *ObsInterceptor) OnComplete(rec RequestRecord) {
+	o.mu.Lock()
+	_, wasSeen := o.seen[rec.Req.ID]
+	delete(o.seen, rec.Req.ID)
+	o.mu.Unlock()
+	if wasSeen {
+		o.inflight.Dec()
+	} else {
+		o.requests.Inc()
+	}
+	switch {
+	case rec.Err == nil:
+		o.completions.Inc()
+		o.solveSec.Observe(rec.Finish - rec.Start)
+		o.energyReq.Observe(rec.EnergyJ)
+		o.Tracer.Emit(obs.Event{T: rec.Start, Event: obs.EventSolve, ID: rec.Req.ID, Src: o.src, Class: rec.Req.Class, Server: rec.Server})
+		o.Tracer.Emit(obs.Event{T: rec.Finish, Event: obs.EventComplete, ID: rec.Req.ID, Src: o.src, Class: rec.Req.Class,
+			Server: rec.Server, DurSec: rec.Finish - rec.Start, EnergyJ: rec.EnergyJ})
+	case errors.Is(rec.Err, ErrRejected):
+		o.rejections.Inc()
+		o.Tracer.Emit(obs.Event{T: rec.Finish, Event: obs.EventReject, ID: rec.Req.ID, Src: o.src, Class: rec.Req.Class, Err: rec.Err.Error()})
+	default:
+		o.failures.Inc()
+		o.Tracer.Emit(obs.Event{T: rec.Finish, Event: obs.EventFail, ID: rec.Req.ID, Src: o.src, Class: rec.Req.Class,
+			Server: rec.Server, Err: rec.Err.Error()})
+	}
+}
+
+// Finalize implements Interceptor: the ledger gauges re-publish from
+// the totals the rest of the stack put on the result. Mount this
+// interceptor FIRST so reverse-order Finalize runs it LAST, after the
+// carbon, budget and SLA interceptors have published theirs.
+func (o *ObsInterceptor) Finalize(res *LiveResult) {
+	o.mu.Lock()
+	o.deferrals.Add(float64(res.Deferred) - o.lastDeferred)
+	o.deferredSec.Add(res.DeferredSec - o.lastDefSec)
+	o.lastDeferred = float64(res.Deferred)
+	o.lastDefSec = res.DeferredSec
+	o.mu.Unlock()
+
+	o.energyJ.Set(res.EnergyJ)
+	o.co2Grams.Set(res.CO2Grams)
+	o.budgetJ.Set(res.BudgetSpentJ)
+	if res.SLA != nil {
+		o.earnedUSD.Set(res.SLA.EarnedUSD)
+		o.penaltyUSD.Set(res.SLA.PenaltyUSD)
+		o.forfeitUSD.Set(res.SLA.ForfeitedUSD)
+	}
+}

@@ -1,0 +1,45 @@
+package middleware
+
+import "greensched/internal/obs"
+
+// startSEDMetrics builds the per-node registry behind
+// SEDConfig.MetricsAddr and starts its listener. Every family is
+// labeled {sed="name"} so a fleet-level scraper can aggregate across
+// nodes without name collisions, and every value refreshes from
+// SED.Stats at scrape time — the endpoint is a view over the SED's own
+// counters, never a second set of books.
+func startSEDMetrics(s *SED, addr string) (*obs.Server, error) {
+	reg := obs.NewRegistry()
+	name := s.Name()
+	completed := reg.CounterVec("greensched_sed_completed_total", "Requests this SED solved.", "sed").With(name)
+	failed := reg.CounterVec("greensched_sed_failed_total", "Solve calls that returned an error.", "sed").With(name)
+	inflight := reg.GaugeVec("greensched_sed_inflight", "Requests executing right now.", "sed").With(name)
+	queued := reg.GaugeVec("greensched_sed_queued", "Requests waiting for a free slot.", "sed").With(name)
+	slots := reg.GaugeVec("greensched_sed_slots", "Configured execution slots.", "sed").With(name)
+	active := reg.GaugeVec("greensched_sed_active", "1 when the SED accepts work, 0 when draining.", "sed").With(name)
+	meanExec := reg.GaugeVec("greensched_sed_mean_exec_seconds", "Mean execution time of completed requests.", "sed").With(name)
+	powerW := reg.GaugeVec("greensched_sed_power_watts", "Learned mean power draw (0 until known).", "sed").With(name)
+	flops := reg.GaugeVec("greensched_sed_flops", "Learned throughput estimate (0 until known).", "sed").With(name)
+	greenPerf := reg.GaugeVec("greensched_sed_green_perf", "Learned flops-per-watt estimate (0 until known).", "sed").With(name)
+
+	slots.Set(float64(s.cfg.Slots))
+	reg.OnScrape(func() {
+		st := s.Stats()
+		// Stats counters are monotone; Add the delta to keep the
+		// exposition counters monotone too.
+		completed.Add(float64(st.Completed) - completed.Value())
+		failed.Add(float64(st.Failed) - failed.Value())
+		inflight.Set(float64(st.InFlight))
+		queued.Set(float64(st.Queued))
+		meanExec.Set(st.MeanExecSec)
+		powerW.Set(st.PowerW)
+		flops.Set(st.Flops)
+		greenPerf.Set(st.GreenPerf)
+		if st.Active {
+			active.Set(1)
+		} else {
+			active.Set(0)
+		}
+	})
+	return obs.ListenAndServe(addr, reg)
+}

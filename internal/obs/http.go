@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registry's current state
+// in text exposition format — mount it wherever the deployment's mux
+// wants it.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		reg.Render(w)
+	})
+}
+
+// Server is a telemetry listener: /metrics (exposition format),
+// /debug/pprof/* (the standard profiles) and /healthz.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ListenAndServe starts a telemetry server on addr ("127.0.0.1:0" for
+// an ephemeral port). The returned server is already accepting.
+func ListenAndServe(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("obs: telemetry server needs a registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	s := &Server{srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, ln: ln}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and closes active connections. Safe to call
+// twice.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.srv.Close()
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerServesMetricsAndHealth(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("srv_up_total", "Liveness.").Inc()
+	srv, err := ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if ct != ContentType {
+		t.Errorf("content type %q", ct)
+	}
+	samples, err := ParseText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	if v, ok := samples.Value("srv_up_total"); !ok || v != 1 {
+		t.Errorf("srv_up_total = %v ok=%v", v, ok)
+	}
+
+	if body, _ := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Errorf("healthz body %q", body)
+	}
+	// pprof index must be mounted (profiling a hot master is the point).
+	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Errorf("pprof index body %q", body)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestListenAndServeErrors(t *testing.T) {
+	if _, err := ListenAndServe("127.0.0.1:0", nil); err == nil {
+		t.Error("nil registry accepted")
+	}
+	if _, err := ListenAndServe("500.500.500.500:99999", NewRegistry()); err == nil {
+		t.Error("bad address accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the exposition format version served by Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Render writes the registry in Prometheus text exposition format:
+// every family preceded by its # HELP and # TYPE lines, families in
+// lexical name order, children in lexical label-value order, so output
+// is deterministic and golden-testable. Collectors registered with
+// OnScrape run first.
+func (r *Registry) Render(w io.Writer) error {
+	r.mu.RLock()
+	collectors := append([]func(){}, r.collectors...)
+	r.mu.RUnlock()
+	for _, fn := range collectors {
+		fn()
+	}
+
+	r.mu.RLock()
+	families := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		families = append(families, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		if err := f.render(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) render(w *bufio.Writer) error {
+	f.mu.Lock()
+	children := append([]*child(nil), f.ordered...)
+	f.mu.Unlock()
+	if len(children) == 0 {
+		return nil
+	}
+	sort.Slice(children, func(i, j int) bool {
+		return strings.Join(children[i].values, "\x00") < strings.Join(children[j].values, "\x00")
+	})
+
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for _, c := range children {
+		switch f.kind {
+		case kindHistogram:
+			f.renderHistogram(w, c)
+		default:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labelSet(f.labels, c.values, "", 0),
+				formatValue(math.Float64frombits(c.bits.Load())))
+		}
+	}
+	return nil
+}
+
+// renderHistogram emits the cumulative _bucket series plus _sum and
+// _count. counts[i] holds the non-cumulative tally of bucket i;
+// counts[len(bounds)] holds the total observation count (the +Inf
+// bucket), so the running sum over the finite buckets plus that final
+// cell yields the required monotone cumulative series.
+func (f *family) renderHistogram(w *bufio.Writer, c *child) {
+	var running uint64
+	for i, b := range f.bounds {
+		running += c.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			labelSet(f.labels, c.values, "le", b), running)
+	}
+	total := c.counts[len(f.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+		labelSet(f.labels, c.values, "le", math.Inf(1)), total)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+		labelSet(f.labels, c.values, "", 0), formatValue(c.sum.Load()))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+		labelSet(f.labels, c.values, "", 0), total)
+}
+
+// labelSet renders {k="v",...}, optionally appending an le bucket
+// label; it returns "" for a label-free sample.
+func labelSet(names, values []string, le string, bound float64) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(le)
+		sb.WriteString(`="`)
+		sb.WriteString(formatValue(bound))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

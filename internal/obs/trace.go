@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Lifecycle event kinds. The same schema describes a request on the
+// live middleware and a task in the simulator, so a million-task sim
+// run and a TCP fleet produce comparable JSONL streams:
+//
+//	submit → admit|reject → elect → solve → complete|fail
+//
+// with defer interleaved when a carbon window parks deferrable work.
+const (
+	EventSubmit   = "submit"   // first seen by the stack
+	EventAdmit    = "admit"    // passed admission control
+	EventReject   = "reject"   // refused by admission control
+	EventElect    = "elect"    // a server was elected
+	EventSolve    = "solve"    // execution started on the elected server
+	EventComplete = "complete" // execution finished successfully
+	EventFail     = "fail"     // execution or election failed (crash, transport loss)
+	EventDefer    = "defer"    // released after waiting out a dirty-grid window
+)
+
+// Event is one structured lifecycle transition. T is seconds on the
+// emitting component's clock — the master's injectable clock on the
+// live path, virtual time in the simulator — so a deterministic run
+// emits a byte-identical stream.
+type Event struct {
+	T     float64 `json:"t"`
+	Event string  `json:"event"`
+	ID    uint64  `json:"id"`
+
+	// Src names the emitting component (a master's name, "sim").
+	Src string `json:"src,omitempty"`
+	// Server is the elected/executing SED, where known.
+	Server string `json:"server,omitempty"`
+	// Class is the request's SLA class ("" = best-effort).
+	Class string `json:"class,omitempty"`
+	// DurSec is the transition's duration where one is meaningful:
+	// execution time on complete, parked time on defer.
+	DurSec float64 `json:"dur_sec,omitempty"`
+	// EnergyJ is the attributed energy share on complete.
+	EnergyJ float64 `json:"energy_j,omitempty"`
+	// Err carries the failure or rejection reason.
+	Err string `json:"err,omitempty"`
+}
+
+// Tracer writes lifecycle events as JSON Lines, one object per event,
+// safe for concurrent emitters. A nil *Tracer is a valid no-op, so
+// call sites thread an optional tracer without guarding.
+type Tracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewTracer returns a tracer writing JSONL to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event. Write errors are swallowed: telemetry must
+// never fail the serving path it observes.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enc.Encode(ev)
+}
+
+// ReadEvents decodes a JSONL event stream back into events — the
+// analysis-side inverse of a Tracer.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerJSONL(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(&sb)
+	tr.Emit(Event{T: 1.5, Event: EventSubmit, ID: 7, Src: "m", Class: "batch"})
+	tr.Emit(Event{T: 2.5, Event: EventComplete, ID: 7, Server: "sed-1", DurSec: 1, EnergyJ: 42})
+
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSONL lines, got %d: %q", len(lines), sb.String())
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Event != EventComplete || ev.ID != 7 || ev.Server != "sed-1" || ev.EnergyJ != 42 {
+		t.Errorf("round-trip mismatch: %+v", ev)
+	}
+	// Zero-valued optional fields stay off the wire.
+	if strings.Contains(lines[0], "server") || strings.Contains(lines[0], "energy_j") {
+		t.Errorf("omitempty fields leaked: %s", lines[0])
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Event: EventSubmit}) // must not panic
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	var sb strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(p)
+	})
+	tr := NewTracer(w)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tr.Emit(Event{T: float64(j), Event: EventSolve, ID: uint64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("lost events: %d lines", len(lines))
+	}
+	for _, ln := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("interleaved write corrupted a line: %q: %v", ln, err)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

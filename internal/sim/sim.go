@@ -26,6 +26,7 @@ import (
 	"greensched/internal/carbon"
 	"greensched/internal/cluster"
 	"greensched/internal/estvec"
+	"greensched/internal/obs"
 	"greensched/internal/power"
 	"greensched/internal/sched"
 	"greensched/internal/simtime"
@@ -390,8 +391,10 @@ type pendingTask struct {
 	task      workload.Task
 	resubmits int
 	// waiting marks a task already counted in Runner.unplaced while it
-	// retries election.
-	waiting bool
+	// retries election; parkedAt is when it started waiting (the defer
+	// lifecycle event's park time).
+	waiting  bool
+	parkedAt float64
 
 	// admitted marks a task that already passed the admission screen
 	// (a queued task migrating off a crashed node): it must never be
@@ -533,6 +536,9 @@ type Runner struct {
 	// mods is the effective module stack: the legacy Config hooks
 	// converted into adapters, then Config.Modules.
 	mods []Module
+	// lobs caches the stack's LifecycleObserver implementations; empty
+	// for most runs, so emitting costs one nil-slice check.
+	lobs []LifecycleObserver
 
 	lastFinish float64
 	unplaced   int // submitted tasks no server could accept yet
@@ -613,8 +619,18 @@ func NewRunner(cfg Config) (*Runner, error) {
 		if err := m.Init(r); err != nil {
 			return nil, err
 		}
+		if o, ok := m.(LifecycleObserver); ok {
+			r.lobs = append(r.lobs, o)
+		}
 	}
 	return r, nil
+}
+
+// emit fans one lifecycle event out to the stack's observers.
+func (r *Runner) emit(ev obs.Event) {
+	for _, o := range r.lobs {
+		o.OnLifecycle(ev)
+	}
 }
 
 // NodeNames returns the platform's node names in platform order — the
@@ -683,6 +699,10 @@ func (r *Runner) onArrival(now float64, p pendingTask) {
 		for _, m := range r.mods {
 			m.OnArrival(now, &p.task)
 		}
+		// The submit event carries post-OnArrival state, so class
+		// mutations are visible on the trace exactly as they reach
+		// admission below.
+		r.emit(obs.Event{T: now, Event: obs.EventSubmit, ID: uint64(p.task.ID), Class: p.task.Class})
 		if r.sla != nil {
 			// Re-resolve the task's terms so OnArrival mutations
 			// (class, deadline, value) reach admission, the ledger and
@@ -698,9 +718,11 @@ func (r *Runner) onArrival(now float64, p pendingTask) {
 				r.res.Rejections = append(r.res.Rejections, Rejection{
 					ID: p.task.ID, Class: terms.Class, ValueUSD: terms.ValueUSD, At: now,
 				})
+				r.emit(obs.Event{T: now, Event: obs.EventReject, ID: uint64(p.task.ID), Class: terms.Class, Err: "admission: best case earns nothing"})
 				return
 			}
 		}
+		r.emit(obs.Event{T: now, Event: obs.EventAdmit, ID: uint64(p.task.ID), Class: p.task.Class})
 	}
 	// SLA express lane: deadline-carrying tasks may bypass candidacy
 	// windows (controllers defer only deferrable work through them).
@@ -729,6 +751,7 @@ func (r *Runner) onArrival(now float64, p pendingTask) {
 		// this. Count it once so controllers see the backlog.
 		if !p.waiting {
 			p.waiting = true
+			p.parkedAt = now
 			r.unplaced++
 			r.waiting[p.task.ID] = p.task
 		}
@@ -739,7 +762,12 @@ func (r *Runner) onArrival(now float64, p pendingTask) {
 		p.waiting = false
 		r.unplaced--
 		delete(r.waiting, p.task.ID)
+		// Placed after waiting out closed windows / powered-off nodes:
+		// the sim spelling of the live carbon deferral, emitted at
+		// release with the parked duration, like the live path.
+		r.emit(obs.Event{T: now, Event: obs.EventDefer, ID: uint64(p.task.ID), Class: p.task.Class, DurSec: now - p.parkedAt})
 	}
+	r.emit(obs.Event{T: now, Event: obs.EventElect, ID: uint64(p.task.ID), Class: p.task.Class, Server: chosen.Server})
 	sed := r.seds[r.cfg.Platform.Find(chosen.Server)]
 	switch {
 	case sed.freeSlots() > 0:
@@ -797,6 +825,7 @@ func (r *Runner) startTask(now float64, sed *sedState, p pendingTask) {
 		r.onFinish(t.Seconds(), sed, rt)
 	})
 	sed.running[p.task.ID] = rt
+	r.emit(obs.Event{T: now, Event: obs.EventSolve, ID: uint64(p.task.ID), Class: p.task.Class, Server: sed.node.Spec.Name})
 }
 
 func (r *Runner) onFinish(now float64, sed *sedState, rt *runningTask) {
@@ -857,6 +886,10 @@ func (r *Runner) onFinish(now float64, sed *sedState, rt *runningTask) {
 	}
 	r.res.Records = append(r.res.Records, rec)
 	r.res.Completed++
+	r.emit(obs.Event{
+		T: now, Event: obs.EventComplete, ID: uint64(rec.ID), Class: rec.Class,
+		Server: rec.Server, DurSec: exec, EnergyJ: rec.EnergyShareJ,
+	})
 	for _, m := range r.mods {
 		m.OnFinish(rec)
 	}
@@ -920,6 +953,15 @@ func (r *Runner) onCrash(now float64, sed *sedState) {
 			preemptions: rt.preemptions, carriedJ: rt.carriedJ, carriedG: rt.carriedG,
 		})
 		delete(sed.running, id)
+	}
+	// Lost executions fail on the trace in ID order — the map walk
+	// above must not leak its iteration order into the event stream.
+	if len(r.lobs) > 0 {
+		failed := append([]pendingTask(nil), lost...)
+		sort.Slice(failed, func(i, j int) bool { return failed[i].task.ID < failed[j].task.ID })
+		for _, p := range failed {
+			r.emit(obs.Event{T: now, Event: obs.EventFail, ID: uint64(p.task.ID), Class: p.task.Class, Server: sed.node.Spec.Name, Err: "node crash"})
+		}
 	}
 	r.res.Crashed += len(lost)
 	for _, p := range sed.queue {

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"greensched/internal/obs"
+)
+
+// LifecycleObserver is the optional Module surface behind lifecycle
+// tracing: a module that also implements it receives every task's
+// structured lifecycle transitions — the exact obs.Event schema the
+// live middleware's ObsInterceptor emits, on virtual time instead of
+// the master clock:
+//
+//	submit → admit|reject → elect → solve → complete|fail
+//
+// with defer emitted when an unplaceable task (every candidacy window
+// shut, all nodes off) is finally placed after waiting. Events fire
+// synchronously inside the event loop, so a deterministic run yields a
+// byte-identical stream. The Event's Src field is left empty for the
+// observer to stamp.
+type LifecycleObserver interface {
+	OnLifecycle(ev obs.Event)
+}
+
+// TraceModule writes the run's lifecycle events as JSONL — the
+// simulator spelling of attaching an obs.Tracer to the live stack, and
+// the reason a sim study and a TCP deployment produce directly
+// comparable traces.
+type TraceModule struct {
+	BaseModule
+
+	// W receives the JSONL stream. Exactly one of W and Tracer must be
+	// set.
+	W io.Writer
+	// Tracer, when set, receives the events instead — the way to merge
+	// a sim trace into a stream another component already writes.
+	Tracer *obs.Tracer
+	// Src stamps the events' source field ("" = "sim").
+	Src string
+
+	tr  *obs.Tracer
+	src string
+}
+
+// Init implements Module.
+func (m *TraceModule) Init(*Runner) error {
+	switch {
+	case m.Tracer != nil && m.W != nil:
+		return fmt.Errorf("sim: trace module wants W or Tracer, not both")
+	case m.Tracer != nil:
+		m.tr = m.Tracer
+	case m.W != nil:
+		m.tr = obs.NewTracer(m.W)
+	default:
+		return fmt.Errorf("sim: trace module needs a writer or a tracer")
+	}
+	m.src = m.Src
+	if m.src == "" {
+		m.src = "sim"
+	}
+	return nil
+}
+
+// OnLifecycle implements LifecycleObserver.
+func (m *TraceModule) OnLifecycle(ev obs.Event) {
+	ev.Src = m.src
+	m.tr.Emit(ev)
+}

@@ -1,8 +1,8 @@
-// Package metrics provides the small statistics toolkit the experiment
+// Package stats provides the small statistics toolkit the experiment
 // harnesses use: summaries, series and distribution helpers matching
 // what the paper reports (makespan, energy, per-node task counts,
 // per-cluster energy, min/max envelopes for RANDOM runs).
-package metrics
+package stats
 
 import (
 	"fmt"
