@@ -1,13 +1,17 @@
-// Perf trajectory: two hot-path benchmarks plus a snapshot emitter.
+// Perf trajectory: hot-path benchmarks plus a snapshot emitter.
 // BenchmarkSimHotPath times the simulator's per-task scheduling loop
-// (the engine under every figure) and BenchmarkLiveMasterThroughput
-// times the fully instrumented live serving path — SLA admission,
-// telemetry interceptor, election, solve — in requests per second.
+// (the engine under every figure), BenchmarkSimScale10k scales the
+// same loop to a 10k-task workload (the regime where quadratic
+// accidents would show), BenchmarkLiveMasterThroughput times the fully
+// instrumented live serving path — SLA admission, telemetry
+// interceptor, election, solve — in requests per second, and
+// BenchmarkLiveMasterSpansThroughput repeats it with span tracing on,
+// so the snapshot prices the tracing overhead explicitly.
 //
 // TestBenchSnapshot (gated behind BENCH_SNAPSHOT=1 so regular `go
-// test` stays fast) runs both via testing.Benchmark and writes
-// BENCH_6.json: ns/op and allocs/op for the sim hot path and req/s
-// for the live path. Re-run with
+// test` stays fast) runs them via testing.Benchmark and writes
+// BENCH_7.json: ns/op and allocs/op for the sim paths and req/s for
+// the live paths. Re-run with
 //
 //	BENCH_SNAPSHOT=1 go test -run TestBenchSnapshot -count=1 .
 //
@@ -17,6 +21,7 @@ package greensched
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -61,6 +66,41 @@ func BenchmarkSimHotPath(b *testing.B) {
 		}
 	}
 	b.ReportMetric(simHotPathTasks, "tasks")
+}
+
+const simScaleTasks = 10000
+
+// BenchmarkSimScale10k runs the identical scheduling loop over a
+// 10k-task workload. ns/op ÷ tasks against BenchmarkSimHotPath's
+// per-task cost is the scaling factor: it should stay near 1 — any
+// superlinear growth in the queue, estimator or ledger shows up here
+// long before it shows up in a study.
+func BenchmarkSimScale10k(b *testing.B) {
+	platform := cluster.PaperPlatform()
+	tasks, err := workload.BurstThenRate{
+		Total: simScaleTasks, Burst: 512, Rate: 16, Ops: 9e11,
+	}.Tasks()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Platform: platform,
+			Policy:   sched.New(sched.GreenPerf),
+			Tasks:    tasks,
+			Explore:  true,
+			Seed:     1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != simScaleTasks {
+			b.Fatalf("completed %d of %d tasks", res.Completed, simScaleTasks)
+		}
+	}
+	b.ReportMetric(simScaleTasks, "tasks")
 }
 
 // BenchmarkLiveMasterThroughput measures the live serving path with
@@ -119,11 +159,64 @@ func BenchmarkLiveMasterThroughput(b *testing.B) {
 	}
 }
 
-// TestBenchSnapshot writes BENCH_6.json — the perf snapshot CI and
+// BenchmarkLiveMasterSpansThroughput is the same serving path with
+// span tracing fully on — every request emits its submit, admission,
+// elect, dispatch, queue, solve and reply spans into a discarded JSONL
+// stream and feeds the stage histograms. The gap to
+// BenchmarkLiveMasterThroughput is the all-in cost of tracing a
+// request.
+func BenchmarkLiveMasterSpansThroughput(b *testing.B) {
+	sedFor := func(name string, watts float64) *middleware.SED {
+		sed, err := middleware.NewSED(middleware.SEDConfig{
+			Name:  name,
+			Slots: 4,
+			Meter: func() (float64, bool) { return watts, true },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sed.Register(middleware.Service{
+			Name:  "compute",
+			Solve: func(ctx context.Context, req middleware.Request) ([]byte, error) { return nil, nil },
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return sed
+	}
+	master, err := middleware.NewMaster(
+		middleware.WithPolicy(sched.New(sched.GreenPerf)),
+		middleware.WithSEDs(sedFor("lean", 60), sedFor("hungry", 400)),
+		middleware.WithInterceptors(&middleware.ObsInterceptor{Registry: obs.NewRegistry()}),
+		middleware.WithSpans(obs.NewSpanWriter(io.Discard)),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := master.Do(ctx, middleware.Request{Service: "compute", Ops: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := master.Do(ctx, middleware.Request{Service: "compute", Ops: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	if res := master.Finalize(); res.Completed != b.N+8 {
+		b.Fatalf("ledger counted %d of %d requests", res.Completed, b.N+8)
+	}
+}
+
+// TestBenchSnapshot writes BENCH_7.json — the perf snapshot CI and
 // future PRs diff against. Gated so the tier-1 test run stays cheap.
 func TestBenchSnapshot(t *testing.T) {
 	if os.Getenv("BENCH_SNAPSHOT") == "" {
-		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_6.json")
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_7.json")
 	}
 	type entry struct {
 		NsPerOp     int64              `json:"ns_per_op"`
@@ -137,8 +230,10 @@ func TestBenchSnapshot(t *testing.T) {
 	}{Go: runtime.Version(), Benches: map[string]entry{}}
 
 	for name, fn := range map[string]func(*testing.B){
-		"BenchmarkSimHotPath":           BenchmarkSimHotPath,
-		"BenchmarkLiveMasterThroughput": BenchmarkLiveMasterThroughput,
+		"BenchmarkSimHotPath":                BenchmarkSimHotPath,
+		"BenchmarkSimScale10k":               BenchmarkSimScale10k,
+		"BenchmarkLiveMasterThroughput":      BenchmarkLiveMasterThroughput,
+		"BenchmarkLiveMasterSpansThroughput": BenchmarkLiveMasterSpansThroughput,
 	} {
 		r := testing.Benchmark(fn)
 		e := entry{NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), N: r.N}
@@ -154,8 +249,8 @@ func TestBenchSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_6.json", append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile("BENCH_7.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote BENCH_6.json:\n%s", data)
+	t.Logf("wrote BENCH_7.json:\n%s", data)
 }

@@ -9,6 +9,7 @@
 //	greensched preempt   [-seed N]             express-boot vs checkpoint/restart preemption study
 //	greensched scenario  [-seed N]             composed module stack: carbon + SLA + preemption + budget in one run
 //	greensched live                            composed LIVE middleware interceptor demo (in-process + TCP)
+//	greensched spans FILE [-check]             per-stage latency + critical path of a span JSONL stream
 //	greensched all       [-seed N]             every study above (replicate, replay and live excluded)
 //
 // Output is written to stdout as ASCII tables/figures.
@@ -63,6 +64,8 @@ func run(args []string, out io.Writer) error {
 	burst := fs.Int("burst", 0, "carbon: deferrable tasks per evening burst (0 = default)")
 	metricsAddr := fs.String("metrics", "", "live: serve Prometheus-style /metrics (and pprof) on this host:port for the study's fleet telemetry")
 	holdSec := fs.Float64("hold", 0, "live: keep the -metrics endpoint up this many seconds after the study finishes (for external scrapers)")
+	spansFile := fs.String("spans", "", "live: write per-request span trees to this JSONL file; spans: (unused, pass the file as the argument)")
+	check := fs.Bool("check", false, "spans: exit non-zero when any trace fails to parse or misses a canonical stage")
 	if err := fs.Parse(args[1:]); err != nil {
 		return errUsage
 	}
@@ -89,7 +92,12 @@ func run(args []string, out io.Writer) error {
 	case "scenario":
 		return runScenario(out, *seed, *traceFile)
 	case "live":
-		return runLive(out, *metricsAddr, *traceFile, *holdSec)
+		return runLive(out, *metricsAddr, *traceFile, *spansFile, *holdSec)
+	case "spans":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("spans needs exactly one JSONL file argument (produced by 'live -spans F' or examples/tracing)")
+		}
+		return runSpans(out, fs.Arg(0), *check)
 	case "replay":
 		return runReplay(out, *traceFile, *policyName, *seed)
 	case "all":
@@ -170,14 +178,42 @@ func runScenario(out io.Writer, seed int64, traceFile string) error {
 	return nil
 }
 
+// runSpans analyzes a span JSONL stream (from 'live -spans F' or the
+// tracing example): per-stage latency percentiles and the critical-path
+// decomposition of the slowest requests. With check, it additionally
+// fails when any trace misses a canonical lifecycle stage.
+func runSpans(out io.Writer, path string, check bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpans(f)
+	if err != nil {
+		return err
+	}
+	rep := obs.AnalyzeSpans(spans)
+	if err := rep.Render(out); err != nil {
+		return err
+	}
+	if check {
+		if err := rep.RequireStages(obs.CanonicalStages...); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nall %d traces carry the full %v lifecycle\n", len(rep.Traces), obs.CanonicalStages)
+	}
+	return nil
+}
+
 // runLive executes the composed LIVE middleware demo. It runs on the
 // wall clock (sub-second grid windows, millisecond solves), so it
 // takes no seed and is excluded from `all`. With -metrics it serves
 // the study's fleet telemetry as a Prometheus-style endpoint (plus
 // pprof), and -hold keeps that endpoint up after the study finishes so
 // an external scraper can read the final totals; -trace streams both
-// masters' lifecycle events to a JSONL file.
-func runLive(out io.Writer, metricsAddr, traceFile string, holdSec float64) error {
+// masters' lifecycle events to a JSONL file; -spans writes per-request
+// span trees for `greensched spans`.
+func runLive(out io.Writer, metricsAddr, traceFile, spansFile string, holdSec float64) error {
 	cfg := experiments.DefaultLiveComposedConfig()
 	var srv *obs.Server
 	if metricsAddr != "" {
@@ -198,6 +234,14 @@ func runLive(out io.Writer, metricsAddr, traceFile string, holdSec float64) erro
 		defer f.Close()
 		cfg.TraceW = f
 	}
+	if spansFile != "" {
+		f, err := os.Create(spansFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.SpanW = f
+	}
 	res, err := experiments.RunLiveComposedStudy(cfg)
 	if err != nil {
 		return err
@@ -207,6 +251,9 @@ func runLive(out io.Writer, metricsAddr, traceFile string, holdSec float64) erro
 	}
 	if traceFile != "" {
 		fmt.Fprintf(out, "\nlifecycle trace written to %s\n", traceFile)
+	}
+	if spansFile != "" {
+		fmt.Fprintf(out, "\nrequest span trees written to %s (analyze with 'greensched spans %s')\n", spansFile, spansFile)
 	}
 	if srv != nil && holdSec > 0 {
 		fmt.Fprintf(out, "\nholding the metrics endpoint for %.0fs (http://%s/metrics)\n", holdSec, srv.Addr())
@@ -384,6 +431,8 @@ commands:
   scenario    composed module stack: carbon + SLA + preemption + budget in one run
   live        composed LIVE middleware: SLA + carbon + budget interceptors over
               in-process and TCP transports (wall clock, no seed)
+  spans FILE  analyze a span JSONL stream: per-stage latency percentiles and
+              the critical path of the slowest requests ([-check])
   replay      schedule an external trace (-trace FILE [-policy P])
   all         run every study (replicate, replay and live excluded)
 
@@ -398,5 +447,7 @@ flags:
   -hold N     live only: keep the -metrics endpoint up N seconds after the study
   -trace F    replay: read the submission trace from F;
               live/scenario: write lifecycle events to F as JSONL
+  -spans F    live only: write per-request span trees to F as JSONL
+  -check      spans only: fail when a trace misses a canonical lifecycle stage
 `)
 }

@@ -164,6 +164,75 @@ func TestLiveCommandObservability(t *testing.T) {
 	}
 }
 
+// TestLiveCommandSpans runs the live study with -spans and feeds the
+// resulting stream back through the spans analyzer subcommand with the
+// completeness gate on — the whole tracing loop through one CLI.
+func TestLiveCommandSpans(t *testing.T) {
+	dir := t.TempDir()
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	var b strings.Builder
+	if err := run([]string{"live", "-spans", spansPath}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "request span trees written") {
+		t.Errorf("live output does not mention the span file:\n%s", b.String())
+	}
+	b.Reset()
+	if err := run([]string{"spans", "-check", spansPath}, &b); err != nil {
+		t.Fatalf("spans -check rejected the live stream: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"Per-stage latency", "Critical path", "full [submit elect dispatch queue solve reply] lifecycle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spans output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpansCommand pins the analyzer subcommand's contract on a small
+// hand-written stream: the report renders, the completeness gate fails
+// a truncated successful trace, and bad invocations error.
+func TestSpansCommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spans.jsonl")
+	stream := `{"trace":1,"span":1,"name":"submit","src":"m","dur_sec":0.01}
+{"trace":1,"span":2,"parent":1,"name":"elect","src":"m","dur_sec":0.002}
+`
+	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"spans", path}, &b); err != nil {
+		t.Fatalf("plain analysis failed: %v", err)
+	}
+	for _, want := range []string{"Per-stage latency", "submit", "critical="} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("spans output missing %q:\n%s", want, b.String())
+		}
+	}
+	// The same stream fails -check: the trace succeeded but never
+	// dispatched.
+	b.Reset()
+	err := run([]string{"spans", "-check", path}, &b)
+	if err == nil || !strings.Contains(err.Error(), "missing stage") {
+		t.Errorf("incomplete trace passed -check: %v", err)
+	}
+
+	if err := run([]string{"spans"}, &b); err == nil {
+		t.Error("spans without a file must fail")
+	}
+	if err := run([]string{"spans", filepath.Join(dir, "nope.jsonl")}, &b); err == nil {
+		t.Error("spans on a missing file must fail")
+	}
+	garbled := filepath.Join(dir, "garbled.jsonl")
+	if err := os.WriteFile(garbled, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"spans", garbled}, &b); err == nil {
+		t.Error("unparseable stream accepted")
+	}
+}
+
 // TestScenarioCommandTrace writes the composed sim run's lifecycle
 // trace and checks it parses with the same schema the live path emits.
 func TestScenarioCommandTrace(t *testing.T) {

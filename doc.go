@@ -37,11 +37,14 @@
 //	                        mountable as a consolidation.Module
 //	internal/obs            fleet telemetry: Prometheus-style metric
 //	                        registry + text exposition (no client_golang),
-//	                        HTTP serving with pprof, and the JSONL
-//	                        lifecycle tracer shared by middleware
-//	                        (ObsInterceptor, WithMetricsAddr,
+//	                        HTTP serving with pprof and the Go runtime
+//	                        collector, the JSONL lifecycle tracer shared
+//	                        by middleware (ObsInterceptor, WithMetricsAddr,
 //	                        SEDConfig.MetricsAddr) and the simulator
-//	                        (sim.TraceModule)
+//	                        (sim.TraceModule, sim.TelemetryModule), and
+//	                        span-based distributed tracing (Span,
+//	                        SpanWriter, AnalyzeSpans) stitched across the
+//	                        gob wire and analyzed by `greensched spans`
 //	internal/stats          gains, EDP and summary helpers for the harnesses
 //	internal/analysis       Student-t / Welch statistics for multi-seed replication
 //	internal/experiments    one harness per table/figure + extension studies

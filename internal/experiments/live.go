@@ -91,6 +91,11 @@ type LiveComposedConfig struct {
 	// TraceW, when set, receives both masters' lifecycle events (and
 	// the carbon interceptor's defer events) as one JSONL stream.
 	TraceW io.Writer
+	// SpanW, when set, turns on distributed tracing: both masters (and,
+	// on the TCP transport, the remotes and the SED daemons themselves)
+	// emit their request span trees into one JSONL stream — the input
+	// to obs.AnalyzeSpans / `greensched spans`.
+	SpanW io.Writer
 }
 
 // DefaultLiveComposedConfig returns the calibrated sub-second
@@ -268,10 +273,11 @@ func RunLiveComposedStudy(cfg LiveComposedConfig) (*LiveComposedResult, error) {
 
 // liveSED builds one metered, carbon-tagged SED whose service sleeps
 // ops/flops.
-func liveSED(name string, flops, watts float64, sig carbon.Signal) (*middleware.SED, error) {
+func liveSED(name string, flops, watts float64, sig carbon.Signal, spans *obs.SpanWriter) (*middleware.SED, error) {
 	sed, err := middleware.NewSED(middleware.SEDConfig{
 		Name:  name,
 		Slots: 2,
+		Spans: spans,
 		Interceptors: []middleware.Interceptor{
 			&middleware.MeterInterceptor{Meter: func() (float64, bool) { return watts, true }},
 			&middleware.CarbonInterceptor{Signal: sig},
@@ -292,11 +298,18 @@ func liveSED(name string, flops, watts float64, sig carbon.Signal) (*middleware.
 // runLiveComposed runs the scenario on one transport.
 func runLiveComposed(cfg LiveComposedConfig, transport string) (LiveComposedRun, error) {
 	sig := &liveStepSignal{dirtyG: cfg.DirtyG, cleanG: cfg.CleanG}
-	lean, err := liveSED("lean", cfg.LeanFlops, cfg.LeanWatts, sig)
+	// One span writer serves every emitter (runs are sequential and the
+	// writer itself is concurrency-safe), so master, transport and SED
+	// spans stitch in one stream.
+	var spans *obs.SpanWriter
+	if cfg.SpanW != nil {
+		spans = obs.NewSpanWriter(cfg.SpanW)
+	}
+	lean, err := liveSED("lean", cfg.LeanFlops, cfg.LeanWatts, sig, spans)
 	if err != nil {
 		return LiveComposedRun{}, err
 	}
-	hungry, err := liveSED("hungry", cfg.HungryFlops, cfg.HungryWatts, sig)
+	hungry, err := liveSED("hungry", cfg.HungryFlops, cfg.HungryWatts, sig, spans)
 	if err != nil {
 		return LiveComposedRun{}, err
 	}
@@ -348,6 +361,9 @@ func runLiveComposed(cfg LiveComposedConfig, transport string) (LiveComposedRun,
 		middleware.WithPolicy(sched.New(sched.GreenPerf)),
 		middleware.WithInterceptors(ics...),
 	}
+	if spans != nil {
+		opts = append(opts, middleware.WithSpans(spans))
+	}
 	var cleanup []func() error
 	defer func() {
 		for _, fn := range cleanup {
@@ -365,6 +381,7 @@ func runLiveComposed(cfg LiveComposedConfig, transport string) (LiveComposedRun,
 			}
 			cleanup = append(cleanup, ep.Close)
 			rem := middleware.Dial(sed.Name(), ep.Addr())
+			rem.SetSpans(spans)
 			cleanup = append(cleanup, rem.Close)
 			opts = append(opts, middleware.WithRemotes(rem))
 		}

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"greensched/internal/core"
 	"greensched/internal/estvec"
+	"greensched/internal/obs"
 	"greensched/internal/sched"
 )
 
@@ -32,6 +34,7 @@ type Agent struct {
 	children     []Child
 	topK         int
 	childTimeout time.Duration
+	spans        *obs.SpanWriter
 }
 
 // AgentConfig declares one agent of the hierarchy for the composed
@@ -52,6 +55,9 @@ type AgentConfig struct {
 	// root), so lower mounts are for Init-time wiring and config
 	// uniformity.
 	Interceptors []Interceptor
+	// Spans, when set, makes this agent emit an "estimate" span per
+	// fan-out (see Agent.SetSpans).
+	Spans *obs.SpanWriter
 }
 
 // NewAgentFromConfig builds a mid-tree agent from a config, running
@@ -64,6 +70,7 @@ func NewAgentFromConfig(cfg AgentConfig) (*Agent, error) {
 	if cfg.ChildTimeout > 0 {
 		a.SetChildTimeout(cfg.ChildTimeout)
 	}
+	a.SetSpans(cfg.Spans)
 	for _, ic := range cfg.Interceptors {
 		if ic == nil {
 			return nil, fmt.Errorf("middleware: agent %s: nil interceptor", cfg.Name)
@@ -128,6 +135,19 @@ func (a *Agent) Policy() sched.Policy {
 	return a.policy
 }
 
+// SetSpans makes the agent emit one "estimate" span per traced fan-out
+// (a request carrying a TraceID). The span parents under the request's
+// incoming ParentSpan, and the copies forwarded to children carry the
+// new span's ID as their parent — so in a multi-level hierarchy each
+// agent level nests its own estimate span, and transport spans (dial/
+// encode/decode) nest under the level that crossed the wire. Nil turns
+// emission off.
+func (a *Agent) SetSpans(w *obs.SpanWriter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spans = w
+}
+
 // Estimate implements Child: parallel fan-out, merge, plug-in sort,
 // optional top-K trim.
 func (a *Agent) Estimate(ctx context.Context, req Request) (estvec.List, error) {
@@ -136,9 +156,37 @@ func (a *Agent) Estimate(ctx context.Context, req Request) (estvec.List, error) 
 	policy := a.policy
 	topK := a.topK
 	childTimeout := a.childTimeout
+	spans := a.spans
 	a.mu.RUnlock()
 	if len(children) == 0 {
 		return nil, nil
+	}
+
+	// One "estimate" span per traced fan-out at this level. The copies
+	// forwarded to children parent under it, so sub-agent estimates and
+	// transport spans nest per hierarchy level.
+	estStart := obs.Uptime()
+	var estSpan *obs.Span
+	if spans != nil && req.TraceID != 0 {
+		estSpan = &obs.Span{
+			TraceID: req.TraceID, SpanID: obs.NewSpanID(), Parent: req.ParentSpan,
+			Name: obs.StageEstimate, Src: a.name, Start: estStart,
+		}
+		req.ParentSpan = estSpan.SpanID
+	}
+	endEstimate := func(candidates int, err error) {
+		if estSpan == nil {
+			return
+		}
+		estSpan.DurSec = obs.Uptime() - estStart
+		estSpan.Attrs = map[string]string{
+			"children":   strconv.Itoa(len(children)),
+			"candidates": strconv.Itoa(candidates),
+		}
+		if err != nil {
+			estSpan.Err = err.Error()
+		}
+		spans.Emit(*estSpan)
 	}
 
 	lists := make([]estvec.List, len(children))
@@ -189,12 +237,15 @@ func (a *Agent) Estimate(ctx context.Context, req Request) (estvec.List, error) 
 		merged = append(merged, lists[i]...)
 	}
 	if healthy == 0 && lastErr != nil {
-		return nil, fmt.Errorf("middleware: agent %s: all children failed: %w", a.name, lastErr)
+		err := fmt.Errorf("middleware: agent %s: all children failed: %w", a.name, lastErr)
+		endEstimate(0, err)
+		return nil, err
 	}
 	merged.SortStable(policy.Less)
 	if topK > 0 && len(merged) > topK {
 		merged = merged[:topK]
 	}
+	endEstimate(len(merged), nil)
 	return merged, nil
 }
 

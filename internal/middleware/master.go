@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"greensched/internal/core"
+	"greensched/internal/estvec"
 	"greensched/internal/obs"
 	"greensched/internal/sched"
 )
@@ -22,9 +23,11 @@ import (
 type Master struct {
 	*MasterAgent
 
-	dir   Directory
-	ics   []Interceptor
-	clock func() float64
+	dir     Directory
+	ics     []Interceptor
+	clock   func() float64
+	sink    *spanSink
+	retries int
 
 	nextID    atomic.Uint64
 	submitted atomic.Int64
@@ -48,6 +51,8 @@ type masterConfig struct {
 	remotes     []*Remote
 	clock       func() float64
 	metricsAddr string
+	spans       *obs.SpanWriter
+	retries     int
 }
 
 // Option configures NewMaster.
@@ -127,6 +132,30 @@ func WithClock(clock func() float64) Option {
 	return func(c *masterConfig) { c.clock = clock }
 }
 
+// WithSpans turns on distributed tracing: every request's lifecycle is
+// emitted as a span tree (submit → admission → elect → dispatch →
+// queue/solve/reply; see the obs.Stage* constants) to the writer, and
+// the trace context propagates on the Request — through the root
+// agent's estimation fan-out and across the gob wire — so agent,
+// transport and SED spans stitch into the same tree. With an
+// ObsInterceptor in the stack the same stages also feed the
+// greensched_stage_seconds histogram on its registry (the histogram is
+// registered whenever a registry is present, spans or not).
+func WithSpans(w *obs.SpanWriter) Option {
+	return func(c *masterConfig) { c.spans = w }
+}
+
+// WithRetries arms failover inside Do: when the elected SED's Solve
+// fails (transport loss, execution error) and the context is still
+// live, the master re-elects excluding the failed servers, up to n
+// additional attempts — the Master-level counterpart of
+// Client.SubmitWithRetry, running INSIDE the interceptor lifecycle
+// (admission once, OnElect per election, one OnComplete at the end).
+// Re-elections emit "reelect" spans when tracing is on.
+func WithRetries(n int) Option {
+	return func(c *masterConfig) { c.retries = n }
+}
+
 // NewMaster builds the composed root from functional options. At
 // minimum a policy is required; SEDs/remotes/children and interceptors
 // are attached in the order given, and every interceptor's Init runs
@@ -191,7 +220,7 @@ func NewMaster(opts ...Option) (*Master, error) {
 		clock = func() float64 { return time.Since(epoch).Seconds() }
 	}
 
-	m := &Master{MasterAgent: ma, dir: dir, ics: cfg.agent.Interceptors, clock: clock}
+	m := &Master{MasterAgent: ma, dir: dir, ics: cfg.agent.Interceptors, clock: clock, retries: cfg.retries}
 	for _, ic := range m.ics {
 		if ic == nil {
 			return nil, fmt.Errorf("middleware: master %s: nil interceptor", cfg.agent.Name)
@@ -200,14 +229,20 @@ func NewMaster(opts ...Option) (*Master, error) {
 			return nil, fmt.Errorf("middleware: master %s: %w", cfg.agent.Name, err)
 		}
 	}
-	if cfg.metricsAddr != "" {
-		var reg *obs.Registry
-		for _, ic := range m.ics {
-			if mp, ok := ic.(interface{ Metrics() *obs.Registry }); ok && mp.Metrics() != nil {
-				reg = mp.Metrics()
-				break
-			}
+	var reg *obs.Registry
+	for _, ic := range m.ics {
+		if mp, ok := ic.(interface{ Metrics() *obs.Registry }); ok && mp.Metrics() != nil {
+			reg = mp.Metrics()
+			break
 		}
+	}
+	// The span sink exists whenever there is anywhere for stage data
+	// to go: a WithSpans writer, a registry for the stage histogram,
+	// or both. The root agent shares the writer so per-level election
+	// spans land in the same stream.
+	m.sink = newSpanSink(ma.Name(), cfg.spans, reg)
+	ma.SetSpans(cfg.spans)
+	if cfg.metricsAddr != "" {
 		if reg == nil {
 			return nil, fmt.Errorf("middleware: master %s: WithMetricsAddr needs an ObsInterceptor in the stack", cfg.agent.Name)
 		}
@@ -254,29 +289,70 @@ func (m *Master) Submit(ctx context.Context, service string, ops float64, pref f
 // transport, OnComplete hooks. Failures after admission also reach
 // OnComplete (rec.Err set) so interceptors release per-request state.
 // A zero req.ID is assigned from the master's sequence.
+//
+// With WithRetries armed, a failed Solve re-elects excluding the
+// servers that already failed (admission runs once, OnElect per
+// election, one OnComplete for the final outcome). With tracing on,
+// the lifecycle is emitted as a span tree rooted at "submit" — see
+// WithSpans — and every stage feeds greensched_stage_seconds when an
+// ObsInterceptor registry is mounted.
 func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 	if req.ID == 0 {
 		req.ID = m.nextID.Add(1)
 	}
 	m.submitted.Add(1)
 
-	for _, ic := range m.ics {
-		if err := ic.OnSubmit(ctx, m.clock(), &req); err != nil {
-			if errors.Is(err, ErrRejected) {
-				m.rejected.Add(1)
-			} else {
-				m.failed.Add(1)
-			}
-			// Earlier hooks may have attached per-request state; the
-			// failure record releases it (hooks ignore IDs they never
-			// admitted).
-			now := m.clock()
-			rec := RequestRecord{Req: req, Submit: now, Start: now, Finish: now, Err: err}
-			for _, ic := range m.ics {
-				ic.OnComplete(rec)
-			}
-			return Response{}, err
+	// Trace context is minted here and rides the Request — through the
+	// estimation fan-out, across the gob wire, into the SED — so every
+	// downstream span stitches to this root by ID alone (no cross-
+	// process clock agreement needed; Start is each emitter's clock).
+	var rootID uint64
+	rootStart := obs.Uptime()
+	if m.sink != nil {
+		if req.TraceID == 0 {
+			req.TraceID = obs.NewSpanID()
 		}
+		rootID = obs.NewSpanID()
+		req.ParentSpan = rootID
+	}
+	endRoot := func(err error) {
+		if m.sink == nil {
+			return
+		}
+		sp := obs.Span{
+			TraceID: req.TraceID, SpanID: rootID,
+			Name: obs.StageSubmit, Start: rootStart, DurSec: obs.Uptime() - rootStart,
+			Attrs: map[string]string{"service": req.Service},
+		}
+		if err != nil {
+			sp.Err = err.Error()
+		}
+		m.sink.emit(sp)
+	}
+
+	if len(m.ics) > 0 {
+		admStart := obs.Uptime()
+		for _, ic := range m.ics {
+			if err := ic.OnSubmit(ctx, m.clock(), &req); err != nil {
+				if errors.Is(err, ErrRejected) {
+					m.rejected.Add(1)
+				} else {
+					m.failed.Add(1)
+				}
+				// Earlier hooks may have attached per-request state; the
+				// failure record releases it (hooks ignore IDs they never
+				// admitted).
+				now := m.clock()
+				rec := RequestRecord{Req: req, Submit: now, Start: now, Finish: now, Err: err}
+				for _, ic := range m.ics {
+					ic.OnComplete(rec)
+				}
+				m.emitStage(req, rootID, obs.StageAdmission, admStart, err)
+				endRoot(err)
+				return Response{}, err
+			}
+		}
+		m.emitStage(req, rootID, obs.StageAdmission, admStart, nil)
 	}
 	submitAt := m.clock()
 	fail := func(server string, start float64, err error) (Response, error) {
@@ -289,43 +365,169 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 		for _, ic := range m.ics {
 			ic.OnComplete(rec)
 		}
+		endRoot(err)
 		return Response{}, err
 	}
 
-	server, list, err := m.Elect(ctx, req)
+	excluded := make(map[string]bool)
+	for attempt := 0; ; attempt++ {
+		// Election. The elect span's ID is minted up front so the
+		// per-level estimate spans (and, through them, transport spans)
+		// nest under it; re-elections after a failed attempt are their
+		// own "reelect" spans.
+		stage := obs.StageElect
+		if attempt > 0 {
+			stage = obs.StageReelect
+		}
+		electStart := obs.Uptime()
+		ereq := req
+		var electID uint64
+		if m.sink != nil {
+			electID = obs.NewSpanID()
+			ereq.ParentSpan = electID
+		}
+		var server string
+		var list estvec.List
+		var err error
+		if attempt == 0 {
+			server, list, err = m.Elect(ctx, ereq)
+		} else {
+			server, list, err = m.ElectExcluding(ctx, ereq, excluded)
+		}
+		if m.sink != nil {
+			sp := obs.Span{
+				TraceID: req.TraceID, SpanID: electID, Parent: rootID,
+				Name: stage, Start: electStart, DurSec: obs.Uptime() - electStart,
+			}
+			if server != "" {
+				sp.Attrs = map[string]string{"server": server}
+			}
+			if err != nil {
+				sp.Err = err.Error()
+			}
+			m.sink.emit(sp)
+		}
+		if err != nil {
+			return fail("", submitAt, err)
+		}
+		now := m.clock()
+		for _, ic := range m.ics {
+			ic.OnElect(now, req, server, list)
+		}
+
+		solver, ok := m.dir.Lookup(server)
+		if !ok {
+			return fail(server, now, fmt.Errorf("middleware: elected SED %q not in transport", server))
+		}
+
+		// Dispatch: the wire crossing plus remote execution. The copy
+		// handed to the solver parents under the dispatch span so
+		// transport (dial/encode/decode) and SED (queue/solve) spans
+		// nest here.
+		start := m.clock()
+		dispStart := obs.Uptime()
+		dreq := req
+		var dispID uint64
+		if m.sink != nil {
+			dispID = obs.NewSpanID()
+			dreq.ParentSpan = dispID
+		}
+		resp, err := solver.Solve(ctx, dreq)
+		m.endDispatch(req, rootID, dispID, server, dispStart, resp, err)
+		if err != nil {
+			if attempt < m.retries && ctx.Err() == nil {
+				excluded[server] = true
+				continue
+			}
+			return fail(server, start, err)
+		}
+		finish := m.clock()
+
+		m.completed.Add(1)
+		m.mu.Lock()
+		m.energyJ += resp.EnergyJ
+		m.mu.Unlock()
+
+		rec := RequestRecord{
+			Req: req, Server: resp.Server,
+			Submit: submitAt, Start: start, Finish: finish,
+			ExecSec: resp.ExecSec, EnergyJ: resp.EnergyJ,
+		}
+		for _, ic := range m.ics {
+			ic.OnComplete(rec)
+		}
+		endRoot(nil)
+		return resp, nil
+	}
+}
+
+// emitStage records one master-side stage span parented under the
+// request's root span. A nil sink costs nothing.
+func (m *Master) emitStage(req Request, rootID uint64, stage string, start float64, err error) {
+	if m.sink == nil {
+		return
+	}
+	sp := obs.Span{
+		TraceID: req.TraceID, SpanID: obs.NewSpanID(), Parent: rootID,
+		Name: stage, Start: start, DurSec: obs.Uptime() - start,
+	}
 	if err != nil {
-		return fail("", submitAt, err)
+		sp.Err = err.Error()
 	}
-	now := m.clock()
-	for _, ic := range m.ics {
-		ic.OnElect(now, req, server, list)
-	}
+	m.sink.emit(sp)
+}
 
-	solver, ok := m.dir.Lookup(server)
-	if !ok {
-		return fail(server, now, fmt.Errorf("middleware: elected SED %q not in transport", server))
+// endDispatch closes a dispatch span and reconstructs the SED-side
+// stage decomposition from the timings that rode back on the Response.
+// When the SED emitted its own queue/solve spans (resp.Spanned — it
+// shares a span writer), reconstruction is skipped to avoid duplicates
+// but the stage histogram still observes every stage, so /metrics is
+// complete either way. For a SED without a writer (or across a one-way
+// transport) the master derives the queue/solve/reply spans on its own
+// clock: queue from dispatch start, solve after it, reply as the
+// residual wire-and-framing time, clipped at zero.
+func (m *Master) endDispatch(req Request, rootID, dispID uint64, server string, dispStart float64, resp Response, err error) {
+	if m.sink == nil {
+		return
 	}
-	start := m.clock()
-	resp, err := solver.Solve(ctx, req)
+	dispDur := obs.Uptime() - dispStart
+	sp := obs.Span{
+		TraceID: req.TraceID, SpanID: dispID, Parent: rootID,
+		Name: obs.StageDispatch, Start: dispStart, DurSec: dispDur,
+		Attrs: map[string]string{"server": server},
+	}
 	if err != nil {
-		return fail(server, start, err)
+		sp.Err = err.Error()
+		m.sink.emit(sp)
+		return
 	}
-	finish := m.clock()
+	m.sink.emit(sp)
 
-	m.completed.Add(1)
-	m.mu.Lock()
-	m.energyJ += resp.EnergyJ
-	m.mu.Unlock()
-
-	rec := RequestRecord{
-		Req: req, Server: resp.Server,
-		Submit: submitAt, Start: start, Finish: finish,
-		ExecSec: resp.ExecSec, EnergyJ: resp.EnergyJ,
+	reply := dispDur - resp.QueueSec - resp.ExecSec
+	if reply < 0 {
+		reply = 0
 	}
-	for _, ic := range m.ics {
-		ic.OnComplete(rec)
+	if resp.Spanned {
+		// SED-side queue/solve spans are already in the stream;
+		// histogram only for those two.
+		m.sink.observe(obs.StageQueue, resp.QueueSec)
+		m.sink.observe(obs.StageSolve, resp.ExecSec)
+	} else {
+		m.sink.emit(obs.Span{
+			TraceID: req.TraceID, SpanID: obs.NewSpanID(), Parent: dispID,
+			Name: obs.StageQueue, Src: resp.Server, Start: dispStart, DurSec: resp.QueueSec,
+		})
+		m.sink.emit(obs.Span{
+			TraceID: req.TraceID, SpanID: obs.NewSpanID(), Parent: dispID,
+			Name: obs.StageSolve, Src: resp.Server, Start: dispStart + resp.QueueSec, DurSec: resp.ExecSec,
+		})
 	}
-	return resp, nil
+	// The reply residual is only visible from the master's side of the
+	// wire, so it is always the master's span.
+	m.sink.emit(obs.Span{
+		TraceID: req.TraceID, SpanID: obs.NewSpanID(), Parent: dispID,
+		Name: obs.StageReply, Start: dispStart + resp.QueueSec + resp.ExecSec, DurSec: reply,
+	})
 }
 
 // Finalize assembles the LiveResult: the master's counters first, then
@@ -397,9 +599,19 @@ type namer interface {
 	Names() []string
 }
 
+// remoteStatser is the fallible stats surface Remote handles expose:
+// the snapshot crosses the wire (a wireStats round trip), so it can
+// fail — deliberately a different signature from statser so in-process
+// and remote paths stay distinct.
+type remoteStatser interface {
+	Stats() (SEDStats, error)
+}
+
 // SEDStats aggregates the observability snapshots of every SED the
-// transport can enumerate and that exposes Stats (in-process SEDs;
-// Remote handles carry no stats and are skipped). Sorted by name.
+// transport can enumerate and that exposes stats: in-process SEDs
+// directly, Remote handles through a wireStats round trip (an
+// unreachable daemon is skipped, not an error — stats are best-effort
+// observability, not control flow). Sorted by name.
 func (m *Master) SEDStats() []SEDStats {
 	dir, ok := m.dir.(namer)
 	if !ok {
@@ -411,8 +623,13 @@ func (m *Master) SEDStats() []SEDStats {
 		if !ok {
 			continue
 		}
-		if st, ok := solver.(statser); ok {
+		switch st := solver.(type) {
+		case statser:
 			out = append(out, st.Stats())
+		case remoteStatser:
+			if s, err := st.Stats(); err == nil {
+				out = append(out, s)
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -52,6 +52,15 @@ type Request struct {
 	// the grid is clean (the live analogue of the simulator's
 	// candidacy-window deferral of no-deadline batch).
 	Deferrable bool
+
+	// TraceID and ParentSpan are the request's distributed-tracing
+	// context. The master assigns TraceID at submission (when tracing
+	// is on) and rewrites ParentSpan as the request enters each stage,
+	// so components downstream — agents a level below, remote SEDs on
+	// the far side of the gob wire — emit spans that stitch into the
+	// same hop tree. Zero means untraced; every emitter checks.
+	TraceID    uint64
+	ParentSpan uint64
 }
 
 // Response is the outcome of solving a request.
@@ -68,6 +77,18 @@ type Response struct {
 	// master-side BudgetInterceptor can charge live completions even
 	// across the TCP transport.
 	EnergyJ float64
+
+	// QueueSec is the time the request waited for a free execution
+	// slot, on the solving SED's clock. It rides back with the
+	// response so the master can reconstruct the SED-side hop tree
+	// (queue → solve → reply) from durations alone — clocks differ
+	// across processes, durations don't.
+	QueueSec float64
+	// Spanned reports that the solving SED emitted its own queue and
+	// solve spans (SEDConfig.Spans): the master then skips
+	// reconstructing them from QueueSec/ExecSec, so a merged span
+	// stream carries exactly one span per stage.
+	Spanned bool
 }
 
 // Service is a computational service a SED exposes ("a single SED can
@@ -145,6 +166,13 @@ type SEDConfig struct {
 	// The listener's resolved address is SED.MetricsAddr; SED.Close
 	// shuts it down.
 	MetricsAddr string
+
+	// Spans, when set, receives the SED's own queue-wait and solve
+	// spans for traced requests (Request.TraceID non-zero), stitched
+	// to the master's dispatch span by the propagated trace context.
+	// In a cross-process deployment each daemon writes its own file;
+	// the analyzer ingests the concatenation.
+	Spans *obs.SpanWriter
 }
 
 // SED is a Server Daemon: a service provider with bounded concurrency,
@@ -405,10 +433,26 @@ func (s *SED) DefaultEstimation(req Request) *estvec.Vector {
 	return v
 }
 
+// emitSpan writes one SED-side span for a traced request, stitched to
+// the master's tree by the propagated trace context. No-op without a
+// writer or a trace.
+func (s *SED) emitSpan(req Request, stage string, start, dur float64, errText string) {
+	if s.cfg.Spans == nil || req.TraceID == 0 {
+		return
+	}
+	s.cfg.Spans.Emit(obs.Span{
+		TraceID: req.TraceID, SpanID: obs.NewSpanID(), Parent: req.ParentSpan,
+		Name: stage, Src: s.cfg.Name,
+		Start: start, DurSec: dur, Err: errText,
+	})
+}
+
 // Solve executes a request (§III-A step 5), blocking for a free slot.
 // It feeds the dynamic estimator with the observed execution time and
 // the power sources' readings, and attributes the request its per-slot
-// energy share in the response.
+// energy share in the response. The queue wait rides back on the
+// response (and, with SEDConfig.Spans, becomes the SED's own queue and
+// solve spans) so the master can decompose the dispatch round trip.
 func (s *SED) Solve(ctx context.Context, req Request) (Response, error) {
 	s.mu.Lock()
 	svc, ok := s.services[req.Service]
@@ -417,15 +461,19 @@ func (s *SED) Solve(ctx context.Context, req Request) (Response, error) {
 		s.fails.Add(1)
 		return Response{}, fmt.Errorf("middleware: SED %s does not offer %q", s.cfg.Name, req.Service)
 	}
+	qStart := obs.Uptime()
 	s.queueLen.Add(1)
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
 		s.queueLen.Add(-1)
 		s.fails.Add(1)
+		s.emitSpan(req, obs.StageQueue, qStart, obs.Uptime()-qStart, ctx.Err().Error())
 		return Response{}, ctx.Err()
 	}
 	s.queueLen.Add(-1)
+	queueSec := obs.Uptime() - qStart
+	s.emitSpan(req, obs.StageQueue, qStart, queueSec, "")
 	s.inflight.Add(1)
 	defer func() {
 		s.inflight.Add(-1)
@@ -439,12 +487,15 @@ func (s *SED) Solve(ctx context.Context, req Request) (Response, error) {
 		meterN++
 	}
 	start := time.Now()
+	solveStart := obs.Uptime()
 	out, err := svc.Solve(ctx, req)
 	elapsed := time.Since(start).Seconds()
 	if err != nil {
 		s.fails.Add(1)
+		s.emitSpan(req, obs.StageSolve, solveStart, elapsed, err.Error())
 		return Response{}, err
 	}
+	s.emitSpan(req, obs.StageSolve, solveStart, elapsed, "")
 	if w, ok := s.readPower(); ok {
 		meterSum += w
 		meterN++
@@ -461,10 +512,12 @@ func (s *SED) Solve(ctx context.Context, req Request) (Response, error) {
 	}
 	s.done.Add(1)
 	return Response{
-		Server:  s.cfg.Name,
-		Output:  out,
-		ExecSec: elapsed,
-		EnergyJ: meanW * elapsed / float64(s.cfg.Slots),
+		Server:   s.cfg.Name,
+		Output:   out,
+		ExecSec:  elapsed,
+		EnergyJ:  meanW * elapsed / float64(s.cfg.Slots),
+		QueueSec: queueSec,
+		Spanned:  s.cfg.Spans != nil && req.TraceID != 0,
 	}, nil
 }
 

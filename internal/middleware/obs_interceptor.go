@@ -81,6 +81,18 @@ type ObsInterceptor struct {
 	solveSec  obs.Histogram
 	energyReq obs.Histogram
 
+	// Fleet-wide per-SED families, labelled (labels..., "sed") and
+	// refreshed at scrape time from Master.SEDStats — which covers
+	// remote daemons through the wireStats frame, so one master scrape
+	// sees the whole fleet without per-SED listeners.
+	sedCompleted *obs.CounterVec
+	sedFailed    *obs.CounterVec
+	sedInflight  *obs.GaugeVec
+	sedQueued    *obs.GaugeVec
+	sedActive    *obs.GaugeVec
+	sedMeanExec  *obs.GaugeVec
+	sedPowerW    *obs.GaugeVec
+
 	mu           sync.Mutex
 	seen         map[uint64]struct{}
 	lastDeferred float64
@@ -145,15 +157,42 @@ func (o *ObsInterceptor) Init(mount Mount) error {
 	o.energyReq = reg.HistogramVec("greensched_request_energy_joules",
 		"Attributed energy share per successful request.", obs.ExpBuckets(0.001, 10, 12), o.names...).With(o.vals...)
 
+	sedLabels := append(append([]string{}, o.names...), "sed")
+	o.sedCompleted = reg.CounterVec("greensched_sed_completed_total", "Requests each SED completed (fleet-wide, incl. remotes).", sedLabels...)
+	o.sedFailed = reg.CounterVec("greensched_sed_failed_total", "Requests each SED failed (fleet-wide, incl. remotes).", sedLabels...)
+	o.sedInflight = reg.GaugeVec("greensched_sed_inflight", "Requests currently executing on each SED.", sedLabels...)
+	o.sedQueued = reg.GaugeVec("greensched_sed_queued", "Requests waiting in each SED's queue.", sedLabels...)
+	o.sedActive = reg.GaugeVec("greensched_sed_active", "1 when the SED accepts work, 0 when drained.", sedLabels...)
+	o.sedMeanExec = reg.GaugeVec("greensched_sed_mean_exec_seconds", "Mean execution time of each SED's completions.", sedLabels...)
+	o.sedPowerW = reg.GaugeVec("greensched_sed_power_watts", "Each SED's learned power draw.", sedLabels...)
+
 	// Scrape-time refresh: the ledger gauges re-publish through the
-	// stack's Finalize (idempotent by contract), and the parked-queue
-	// gauges read Master.Deferred, so any scraper sees totals that
-	// agree with the books at that instant.
+	// stack's Finalize (idempotent by contract), the parked-queue
+	// gauges read Master.Deferred, and the fleet families read
+	// Master.SEDStats, so any scraper sees totals that agree with the
+	// books at that instant. The SED counters arrive as absolute
+	// snapshots; the monotone delta keeps them counters.
 	master := mount.Master
 	reg.OnScrape(func() {
 		st := master.Deferred()
 		o.parked.Set(float64(st.Parked))
 		o.parkedOldest.Set(st.OldestSec)
+		for _, s := range master.SEDStats() {
+			lv := append(append([]string{}, o.vals...), s.Name)
+			c := o.sedCompleted.With(lv...)
+			c.Add(float64(s.Completed) - c.Value())
+			f := o.sedFailed.With(lv...)
+			f.Add(float64(s.Failed) - f.Value())
+			o.sedInflight.With(lv...).Set(float64(s.InFlight))
+			o.sedQueued.With(lv...).Set(float64(s.Queued))
+			active := 0.0
+			if s.Active {
+				active = 1
+			}
+			o.sedActive.With(lv...).Set(active)
+			o.sedMeanExec.With(lv...).Set(s.MeanExecSec)
+			o.sedPowerW.With(lv...).Set(s.PowerW)
+		}
 		master.Finalize()
 	})
 	return nil

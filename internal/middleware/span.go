@@ -1,0 +1,55 @@
+package middleware
+
+import "greensched/internal/obs"
+
+// spanSink is the master's span fan-out: every stage span goes to the
+// optional JSONL writer AND — when the interceptor stack carries a
+// registry — into the greensched_stage_seconds histogram, so /metrics
+// exposes the same per-stage latency decomposition the span stream
+// records. A nil sink (tracing off, no registry) costs the request
+// path nothing.
+type spanSink struct {
+	w    *obs.SpanWriter   // may be nil: histograms only
+	hist *obs.HistogramVec // may be nil: spans only
+	src  string            // the master's name
+}
+
+// stageBuckets span the decomposed stages' dynamic range: in-process
+// elections sit in the tens of microseconds, queue waits behind a
+// dirty-grid deferral in the tens of seconds.
+var stageBuckets = obs.ExpBuckets(1e-5, 4, 12)
+
+// newSpanSink wires the sink; nil when both outputs are absent.
+func newSpanSink(src string, w *obs.SpanWriter, reg *obs.Registry) *spanSink {
+	if w == nil && reg == nil {
+		return nil
+	}
+	s := &spanSink{w: w, src: src}
+	if reg != nil {
+		s.hist = reg.HistogramVec("greensched_stage_seconds",
+			"Request latency decomposed by lifecycle stage.", stageBuckets, "src", "stage")
+	}
+	return s
+}
+
+// emit records one span: histogram always, writer when present.
+func (s *spanSink) emit(sp obs.Span) {
+	if s == nil {
+		return
+	}
+	if sp.Src == "" {
+		sp.Src = s.src
+	}
+	s.observe(sp.Name, sp.DurSec)
+	s.w.Emit(sp)
+}
+
+// observe feeds the stage histogram alone — for stages whose span is
+// emitted elsewhere (a SED writing its own queue/solve spans) but whose
+// latency still belongs in the master's /metrics.
+func (s *spanSink) observe(stage string, dur float64) {
+	if s == nil || s.hist == nil {
+		return
+	}
+	s.hist.With(s.src, stage).Observe(dur)
+}

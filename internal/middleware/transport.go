@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"greensched/internal/estvec"
+	"greensched/internal/obs"
 )
 
 // ErrTransport marks a transport-layer failure — dial, encode, decode,
@@ -31,6 +32,10 @@ type wireKind uint8
 const (
 	wireEstimate wireKind = iota + 1
 	wireSolve
+	// wireStats fetches the remote SED's observability snapshot — the
+	// frame behind Remote.Stats, so Master.SEDStats covers daemons on
+	// other machines, not just in-process SEDs.
+	wireStats
 )
 
 type wireMsg struct {
@@ -42,6 +47,7 @@ type wireReply struct {
 	Err     string
 	Vectors []*estvec.Vector
 	Resp    Response
+	Stats   SEDStats
 }
 
 // Endpoint serves a Child (agent or SED) over TCP. SEDs additionally
@@ -152,6 +158,18 @@ func (e *Endpoint) handle(conn net.Conn) {
 					reply.Resp = resp
 				}
 			}
+		case wireStats:
+			var src statser
+			if s, ok := e.solver.(statser); ok {
+				src = s
+			} else if s, ok := e.child.(statser); ok {
+				src = s
+			}
+			if src == nil {
+				reply.Err = fmt.Sprintf("middleware: endpoint %s exposes no stats", e.child.Name())
+			} else {
+				reply.Stats = src.Stats()
+			}
 		default:
 			reply.Err = fmt.Sprintf("middleware: unknown wire kind %d", msg.Kind)
 		}
@@ -173,6 +191,7 @@ type Remote struct {
 	enc     *gob.Encoder
 	dec     *gob.Decoder
 	timeout time.Duration
+	spans   *obs.SpanWriter
 }
 
 // Dial returns a lazy-connecting remote handle. name must match the
@@ -183,6 +202,39 @@ func Dial(name, addr string) *Remote {
 
 // SetTimeout bounds each round trip (0 disables).
 func (r *Remote) SetTimeout(d time.Duration) { r.timeout = d }
+
+// SetSpans makes the handle emit dial/encode/decode spans for traced
+// requests, parented under the caller's span (the master's dispatch
+// span for Solve, the agent level's estimate span for Estimate) — the
+// wire's own cost becomes visible in the trace. Nil turns it off.
+func (r *Remote) SetSpans(w *obs.SpanWriter) { r.spans = w }
+
+// emitSpan records one transport-stage span for a traced request.
+func (r *Remote) emitSpan(req Request, stage string, start, dur float64, err error) {
+	if r.spans == nil || req.TraceID == 0 {
+		return
+	}
+	sp := obs.Span{
+		TraceID: req.TraceID, SpanID: obs.NewSpanID(), Parent: req.ParentSpan,
+		Name: stage, Src: r.name, Start: start, DurSec: dur,
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	r.spans.Emit(sp)
+}
+
+// Stats fetches the remote SED's observability snapshot over the wire.
+// The fallible signature is deliberate: it keeps Remote distinct from
+// the in-process statser surface, and Master.SEDStats skips daemons
+// whose round trip fails.
+func (r *Remote) Stats() (SEDStats, error) {
+	reply, err := r.call(context.Background(), wireMsg{Kind: wireStats})
+	if err != nil {
+		return SEDStats{}, err
+	}
+	return reply.Stats, nil
+}
 
 // Name implements Child.
 func (r *Remote) Name() string { return r.name }
@@ -222,11 +274,15 @@ func (r *Remote) call(ctx context.Context, msg wireMsg) (wireReply, error) {
 	defer r.mu.Unlock()
 	var reply wireReply
 	if r.conn == nil {
+		dialStart := obs.Uptime()
 		d := net.Dialer{Timeout: r.timeout}
 		conn, err := d.DialContext(ctx, "tcp", r.addr)
 		if err != nil {
-			return reply, fmt.Errorf("middleware: dialing %s (%s): %w: %w", r.name, r.addr, ErrTransport, err)
+			err = fmt.Errorf("middleware: dialing %s (%s): %w: %w", r.name, r.addr, ErrTransport, err)
+			r.emitSpan(msg.Req, obs.StageDial, dialStart, obs.Uptime()-dialStart, err)
+			return reply, err
 		}
+		r.emitSpan(msg.Req, obs.StageDial, dialStart, obs.Uptime()-dialStart, nil)
 		r.conn = conn
 		r.enc = gob.NewEncoder(conn)
 		r.dec = gob.NewDecoder(conn)
@@ -237,14 +293,32 @@ func (r *Remote) call(ctx context.Context, msg wireMsg) (wireReply, error) {
 	if dl, ok := ctx.Deadline(); ok {
 		r.conn.SetDeadline(dl)
 	}
+	encStart := obs.Uptime()
 	if err := r.enc.Encode(&msg); err != nil {
 		r.reset()
-		return reply, fmt.Errorf("middleware: sending to %s: %w: %w", r.name, ErrTransport, err)
+		err = fmt.Errorf("middleware: sending to %s: %w: %w", r.name, ErrTransport, err)
+		r.emitSpan(msg.Req, obs.StageEncode, encStart, obs.Uptime()-encStart, err)
+		return reply, err
 	}
+	r.emitSpan(msg.Req, obs.StageEncode, encStart, obs.Uptime()-encStart, nil)
+	decStart := obs.Uptime()
 	if err := r.dec.Decode(&reply); err != nil {
 		r.reset()
-		return reply, fmt.Errorf("middleware: reading from %s: %w: %w", r.name, ErrTransport, err)
+		err = fmt.Errorf("middleware: reading from %s: %w: %w", r.name, ErrTransport, err)
+		r.emitSpan(msg.Req, obs.StageDecode, decStart, obs.Uptime()-decStart, err)
+		return reply, err
 	}
+	decDur := obs.Uptime() - decStart
+	if msg.Kind == wireSolve {
+		// The reply read blocks for the SED's whole queue+solve time,
+		// which is already spanned on the far side of the wire — keep
+		// only the wire-and-codec residual here so critical paths don't
+		// count the execution twice.
+		if served := reply.Resp.QueueSec + reply.Resp.ExecSec; served > 0 && decDur > served {
+			decDur -= served
+		}
+	}
+	r.emitSpan(msg.Req, obs.StageDecode, decStart, decDur, nil)
 	if reply.Err != "" {
 		return reply, fmt.Errorf("middleware: %s: %s", r.name, reply.Err)
 	}

@@ -39,6 +39,10 @@ func ListenAndServe(addr string, reg *Registry) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
+	// Every served registry carries the process's own health gauges
+	// (goroutines, heap, GC) next to the domain metrics; idempotent,
+	// so several listeners over one registry refresh it once.
+	RegisterRuntime(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -23,6 +23,11 @@ type Registry struct {
 	mu         sync.RWMutex
 	families   map[string]*family
 	collectors []func()
+
+	// runtimeDone guards RegisterRuntime idempotence: the Go runtime
+	// collector must refresh once per scrape no matter how many
+	// listeners serve the registry.
+	runtimeDone bool
 }
 
 // NewRegistry returns an empty registry.

@@ -1,0 +1,36 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntime adds the Go runtime's health gauges to the registry,
+// refreshed at every scrape: goroutine count, heap bytes, GC cycles
+// and cumulative GC pause seconds. ListenAndServe calls it on every
+// registry it serves, so every /metrics endpoint in a deployment
+// carries process health next to the domain metrics; calling it again
+// on the same registry is a no-op (the refresh must not run twice per
+// scrape).
+func RegisterRuntime(reg *Registry) {
+	reg.mu.Lock()
+	if reg.runtimeDone {
+		reg.mu.Unlock()
+		return
+	}
+	reg.runtimeDone = true
+	reg.mu.Unlock()
+
+	goroutines := reg.Gauge("greensched_go_goroutines", "Goroutines currently live in the process.")
+	heap := reg.Gauge("greensched_go_heap_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
+	gcs := reg.Counter("greensched_go_gcs_total", "Completed GC cycles.")
+	gcPause := reg.Counter("greensched_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.")
+
+	reg.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heap.Set(float64(ms.HeapAlloc))
+		// MemStats counters are monotone; Add the delta to keep the
+		// exposition counters monotone too.
+		gcs.Add(float64(ms.NumGC) - gcs.Value())
+		gcPause.Add(float64(ms.PauseTotalNs)/1e9 - gcPause.Value())
+	})
+}

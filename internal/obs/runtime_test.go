@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRegisterRuntime: one scrape carries live process-health gauges.
+func TestRegisterRuntime(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	var buf bytes.Buffer
+	if err := reg.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := samples.Value("greensched_go_goroutines"); !ok || v <= 0 {
+		t.Errorf("greensched_go_goroutines = %v ok=%v, want > 0", v, ok)
+	}
+	if v, ok := samples.Value("greensched_go_heap_bytes"); !ok || v <= 0 {
+		t.Errorf("greensched_go_heap_bytes = %v ok=%v, want > 0", v, ok)
+	}
+	for _, name := range []string{"greensched_go_gcs_total", "greensched_go_gc_pause_seconds_total"} {
+		if _, ok := samples.Value(name); !ok {
+			t.Errorf("%s missing from scrape", name)
+		}
+	}
+}
+
+// TestRegisterRuntimeIdempotent: registering twice (every
+// ListenAndServe calls it on its registry) must neither panic on
+// duplicate families nor emit duplicate series.
+func TestRegisterRuntimeIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	RegisterRuntime(reg)
+	var buf bytes.Buffer
+	if err := reg.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "greensched_go_goroutines ") {
+			samples++
+		}
+	}
+	if samples != 1 {
+		t.Fatalf("%d greensched_go_goroutines samples after double registration, want 1", samples)
+	}
+}

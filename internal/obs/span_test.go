@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanWriterNilSafe: a nil *SpanWriter is a valid no-op sink, so
+// every call site can thread an optional writer without guarding.
+func TestSpanWriterNilSafe(t *testing.T) {
+	var w *SpanWriter
+	w.Emit(Span{TraceID: 1, SpanID: 2, Name: StageSolve}) // must not panic
+}
+
+// TestSpanRoundTrip: Emit → ReadSpans is lossless, including attrs and
+// error marks.
+func TestSpanRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSpanWriter(&buf)
+	in := []Span{
+		{TraceID: 1, SpanID: 10, Name: StageSubmit, Src: "master", Start: 0.5, DurSec: 0.25},
+		{TraceID: 1, SpanID: 11, Parent: 10, Name: StageElect, Src: "master",
+			Attrs: map[string]string{"server": "sed-0"}},
+		{TraceID: 2, SpanID: 12, Name: StageDispatch, Err: "connection reset"},
+	}
+	for _, sp := range in {
+		w.Emit(sp)
+	}
+	out, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d spans back, want %d", len(out), len(in))
+	}
+	for i := range in {
+		got, want := out[i], in[i]
+		if got.TraceID != want.TraceID || got.SpanID != want.SpanID || got.Parent != want.Parent ||
+			got.Name != want.Name || got.Src != want.Src || got.Start != want.Start ||
+			got.DurSec != want.DurSec || got.Err != want.Err {
+			t.Errorf("span %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if out[1].Attrs["server"] != "sed-0" {
+		t.Errorf("attrs lost: %+v", out[1].Attrs)
+	}
+}
+
+// TestSpanWriterConcurrent: many emitters on one writer yield a stream
+// where every line still parses — no interleaved JSON (run with -race).
+func TestSpanWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSpanWriter(&buf)
+	const emitters, per = 16, 50
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				w.Emit(Span{TraceID: uint64(g + 1), SpanID: NewSpanID(), Name: StageSolve,
+					Attrs: map[string]string{"g": strings.Repeat("x", 20)}})
+			}
+		}(g)
+	}
+	wg.Wait()
+	out, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatalf("concurrent stream does not parse: %v", err)
+	}
+	if len(out) != emitters*per {
+		t.Fatalf("%d spans, want %d", len(out), emitters*per)
+	}
+}
+
+// TestReadSpansGarbage: a corrupt stream reports the error and returns
+// the spans decoded before it.
+func TestReadSpansGarbage(t *testing.T) {
+	stream := `{"trace":1,"span":2,"name":"solve","start":0,"dur_sec":0.1}` + "\nnot json\n"
+	out, err := ReadSpans(strings.NewReader(stream))
+	if err == nil {
+		t.Fatal("corrupt stream accepted")
+	}
+	if len(out) != 1 || out[0].Name != StageSolve {
+		t.Fatalf("prefix spans = %+v, want the one valid span", out)
+	}
+}
+
+// TestNewSpanIDUnique: IDs are process-unique under concurrency.
+func TestNewSpanIDUnique(t *testing.T) {
+	const n = 1000
+	ids := make(chan uint64, n)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				ids <- NewSpanID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[uint64]bool{}
+	for id := range ids {
+		if id == 0 || seen[id] {
+			t.Fatalf("span ID %d zero or reused", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"greensched/internal/carbon"
+	"greensched/internal/power"
+)
+
+// TelemetrySample is one per-tick snapshot of the platform: the
+// fleet-level series a live deployment would scrape off /metrics,
+// sampled on virtual time instead. CO2Rate is grams per second at the
+// tick (powered draw weighted by each cluster's intensity), 0 without
+// a carbon profile.
+type TelemetrySample struct {
+	T        float64 `json:"t"`
+	Queued   int     `json:"queued"`
+	Unplaced int     `json:"unplaced"`
+	Running  int     `json:"running"`
+	Powered  int     `json:"powered"`
+	Watts    float64 `json:"watts"`
+	CO2Rate  float64 `json:"co2_g_per_sec"`
+}
+
+// TelemetryModule samples fleet-level time series at every control
+// tick — queue depth, unplaced backlog, running tasks, powered nodes,
+// aggregate draw, CO2 rate — and writes them as CSV or JSONL. It is
+// the simulator spelling of pointing a scraper at the live /metrics
+// endpoint: a deterministic run yields a byte-identical series, so the
+// files diff cleanly across scenario variants. It needs
+// Config.ControlEvery > 0 (ticks are the sampling clock).
+type TelemetryModule struct {
+	BaseModule
+
+	// W receives the series (required).
+	W io.Writer
+	// Format is "csv" (default) or "jsonl".
+	Format string
+	// Profile, when set, prices the powered draw into a CO2 rate with
+	// each cluster's intensity at the tick.
+	Profile *carbon.Profile
+
+	// Samples retains the series in memory after the run (always on —
+	// the slice is the analyzer-friendly form of the file).
+	Samples []TelemetrySample
+
+	enc *json.Encoder
+}
+
+// Init implements Module.
+func (m *TelemetryModule) Init(r *Runner) error {
+	if m.W == nil {
+		return fmt.Errorf("sim: telemetry module needs a writer")
+	}
+	switch m.Format {
+	case "", "csv":
+		if _, err := io.WriteString(m.W, "t,queued,unplaced,running,powered,watts,co2_g_per_sec\n"); err != nil {
+			return fmt.Errorf("sim: telemetry header: %w", err)
+		}
+	case "jsonl":
+		m.enc = json.NewEncoder(m.W)
+	default:
+		return fmt.Errorf("sim: telemetry format %q (want csv or jsonl)", m.Format)
+	}
+	if r.cfg.ControlEvery <= 0 {
+		return fmt.Errorf("sim: telemetry module needs Config.ControlEvery > 0 (ticks are its sampling clock)")
+	}
+	m.Samples = nil
+	return nil
+}
+
+// OnTick implements Module: one sample per control tick.
+func (m *TelemetryModule) OnTick(now float64, ctl Control) {
+	s := TelemetrySample{T: now, Unplaced: ctl.Unplaced()}
+	for _, n := range ctl.Nodes() {
+		s.Queued += n.Queued
+		s.Running += n.Running
+		if n.State == power.On {
+			s.Powered++
+		}
+		s.Watts += n.PowerW
+		if m.Profile != nil {
+			// g/s = W × gCO2/kWh ÷ (3.6e6 J/kWh)
+			s.CO2Rate += n.PowerW * m.Profile.IntensityAt(n.Cluster, now) / 3.6e6
+		}
+	}
+	m.Samples = append(m.Samples, s)
+	if m.enc != nil {
+		m.enc.Encode(s) //nolint:errcheck // telemetry must not abort the run
+		return
+	}
+	// Shortest-roundtrip float formatting keeps the file deterministic
+	// and diffable across runs.
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	row := strings.Join([]string{
+		f(s.T), strconv.Itoa(s.Queued), strconv.Itoa(s.Unplaced), strconv.Itoa(s.Running),
+		strconv.Itoa(s.Powered), f(s.Watts), f(s.CO2Rate),
+	}, ",")
+	io.WriteString(m.W, row+"\n") //nolint:errcheck // telemetry must not abort the run
+}
