@@ -66,6 +66,8 @@ func run(args []string, out io.Writer) error {
 	holdSec := fs.Float64("hold", 0, "live: keep the -metrics endpoint up this many seconds after the study finishes (for external scrapers)")
 	spansFile := fs.String("spans", "", "live: write per-request span trees to this JSONL file; spans: (unused, pass the file as the argument)")
 	check := fs.Bool("check", false, "spans: exit non-zero when any trace fails to parse or misses a canonical stage")
+	tasks := fs.Int("tasks", 0, "scenario/live: rescale the task mix to roughly this many tasks total (0 = calibrated default)")
+	concurrency := fs.Int("concurrency", 0, "live: bound each master's in-flight admissions (0 = unbounded)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return errUsage
 	}
@@ -90,9 +92,9 @@ func run(args []string, out io.Writer) error {
 	case "preempt":
 		return runPreempt(out, *seed)
 	case "scenario":
-		return runScenario(out, *seed, *traceFile)
+		return runScenario(out, *seed, *traceFile, *tasks)
 	case "live":
-		return runLive(out, *metricsAddr, *traceFile, *spansFile, *holdSec)
+		return runLive(out, *metricsAddr, *traceFile, *spansFile, *holdSec, *tasks, *concurrency)
 	case "spans":
 		if fs.NArg() != 1 {
 			return fmt.Errorf("spans needs exactly one JSONL file argument (produced by 'live -spans F' or examples/tracing)")
@@ -135,7 +137,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		return runScenario(out, *seed, "")
+		return runScenario(out, *seed, "", 0)
 	case "-h", "--help", "help":
 		usage(out)
 		return nil
@@ -154,9 +156,10 @@ func runConsolidation(out io.Writer, seed int64) error {
 	return res.Render(out)
 }
 
-func runScenario(out io.Writer, seed int64, traceFile string) error {
+func runScenario(out io.Writer, seed int64, traceFile string, tasks int) error {
 	cfg := experiments.DefaultComposedConfig()
 	cfg.SLA.Seed = seed
+	cfg.ScaleTasks(tasks)
 	if traceFile != "" {
 		f, err := os.Create(traceFile)
 		if err != nil {
@@ -212,9 +215,14 @@ func runSpans(out io.Writer, path string, check bool) error {
 // pprof), and -hold keeps that endpoint up after the study finishes so
 // an external scraper can read the final totals; -trace streams both
 // masters' lifecycle events to a JSONL file; -spans writes per-request
-// span trees for `greensched spans`.
-func runLive(out io.Writer, metricsAddr, traceFile, spansFile string, holdSec float64) error {
+// span trees for `greensched spans`. -tasks rescales the request mix
+// (proportionally, each class keeps at least one request) and
+// -concurrency bounds each master's in-flight admissions — together
+// they turn the demo into a load generator for the concurrent master.
+func runLive(out io.Writer, metricsAddr, traceFile, spansFile string, holdSec float64, tasks, concurrency int) error {
 	cfg := experiments.DefaultLiveComposedConfig()
+	cfg.ScaleTasks(tasks)
+	cfg.Concurrency = concurrency
 	var srv *obs.Server
 	if metricsAddr != "" {
 		cfg.Registry = obs.NewRegistry()
@@ -449,5 +457,7 @@ flags:
               live/scenario: write lifecycle events to F as JSONL
   -spans F    live only: write per-request span trees to F as JSONL
   -check      spans only: fail when a trace misses a canonical lifecycle stage
+  -tasks N    scenario/live: rescale the task mix to roughly N tasks total
+  -concurrency N  live only: bound each master's in-flight admissions
 `)
 }

@@ -233,6 +233,45 @@ func TestSpansCommand(t *testing.T) {
 	}
 }
 
+// TestScenarioCommandTasks pins the -tasks flag through the dispatch:
+// the composed study's report title carries the scaled mix, so the
+// proportional-rescale arithmetic (base 390 → 60, every stream >= 1)
+// is asserted end-to-end.
+func TestScenarioCommandTasks(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"scenario", "-seed", "1", "-tasks", "60"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"36 batch + 3 deadline (+1 hopeless) + 18 interactive", "COMPOSED", "CARBON-BLIND"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLiveCommandTasksConcurrency drives the live study through the
+// dispatch with a doubled request mix under a bounded-admission master:
+// the expected-dollar line proves -tasks reached the config (13 → 26
+// doubles every stream, so the ledger expectation is $16.40), and the
+// run completing proves WithConcurrency held under the full stack.
+func TestLiveCommandTasksConcurrency(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"live", "-tasks", "26", "-concurrency", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"expected $16.40", "IN-PROCESS", "TCP", "LIVE serving path"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// A negative bound must be rejected before any SED spins up.
+	if err := run([]string{"live", "-concurrency", "-2"}, &b); err == nil || !strings.Contains(err.Error(), "concurrency") {
+		t.Errorf("negative -concurrency accepted: %v", err)
+	}
+}
+
 // TestScenarioCommandTrace writes the composed sim run's lifecycle
 // trace and checks it parses with the same schema the live path emits.
 func TestScenarioCommandTrace(t *testing.T) {

@@ -16,14 +16,26 @@
 //	                        stack (NewMaster + functional options): SLA
 //	                        admission + revenue ledger, carbon-window
 //	                        deferral and budget metering run on the live
-//	                        serving path, mirroring sim's module stack
+//	                        serving path, mirroring sim's module stack.
+//	                        The master is concurrent: agent/SED config
+//	                        lives behind atomic copy-on-write snapshots,
+//	                        WithConcurrency bounds in-flight admissions,
+//	                        and Master.Pipeline streams a request channel
+//	                        through a bounded worker pool
 //	internal/sim            deterministic discrete-event simulator with
 //	                        per-node CO2 accounting and the composable
 //	                        sim.Module extension stack (NewScenario +
 //	                        functional options); carbon accounting, SLA
 //	                        machinery, preemption, power controllers,
 //	                        budget tracking and thermal monitoring all
-//	                        mount as stackable modules
+//	                        mount as stackable modules. The run loop is
+//	                        an event-heap kernel (time-ordered event
+//	                        queue + arrival cursor, preallocated task
+//	                        arenas, zero-alloc election inner loop);
+//	                        Config.LegacyKernel retains the original
+//	                        tick loop, held to byte-identical Results by
+//	                        the cross-engine equivalence suite
+//	internal/simtime        virtual-time event engine (the kernel's heap)
 //	internal/carbon         grid carbon-intensity signals, site profiles
 //	                        and the joules→grams integrator
 //	internal/sla            SLA classes (deadline, value, penalty curve),

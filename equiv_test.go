@@ -1,0 +1,205 @@
+// Cross-engine equivalence: the event-heap kernel (arrival cursor,
+// min-heap wait estimates, scratch-buffer elections) must produce
+// byte-identical Results to the seed kernel it replaces, on the same
+// seeds — including under the full composed carbon+budget+SLA+preempt+
+// consolidation stack. This is the gate the PR 4 compat tests set for
+// the module redesign, extended across kernels: if the refactor ever
+// changes an election, a wait estimate, a virtual timestamp or a
+// ledger entry, these tests fail before any figure drifts.
+package greensched
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"greensched/internal/budget"
+	"greensched/internal/carbon"
+	"greensched/internal/cluster"
+	"greensched/internal/consolidation"
+	"greensched/internal/core"
+	"greensched/internal/sched"
+	"greensched/internal/sim"
+	"greensched/internal/sla"
+	"greensched/internal/workload"
+)
+
+// equivTasks builds a seeded burst-then-rate workload.
+func equivTasks(t *testing.T, n int, burst int, rate float64) []workload.Task {
+	t.Helper()
+	tasks, err := workload.BurstThenRate{Total: n, Burst: burst, Rate: rate, Ops: 9e11}.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tasks
+}
+
+// equivProfile is a two-site grid so carbon tags and emissions differ
+// across clusters.
+func equivProfile() *carbon.Profile {
+	solar := carbon.SiteProfile{Site: "solar", Signal: carbon.Diurnal{
+		MeanG: 300, AmplitudeG: 250, CleanHour: 13, RenewableMin: 0.1, RenewableMax: 0.8,
+	}}
+	fossil := carbon.SiteProfile{Site: "fossil", Signal: carbon.Diurnal{
+		MeanG: 450, AmplitudeG: 50, CleanHour: 13,
+	}}
+	p := carbon.MustProfile(solar)
+	if err := p.SetCluster("sagittaire", fossil); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// equivConfigs enumerates the seeded scenarios both kernels replay.
+// Each entry rebuilds its config (and any stateful modules) fresh per
+// run.
+func equivConfigs(t *testing.T) map[string]func() sim.Config {
+	t.Helper()
+	return map[string]func() sim.Config{
+		"placement-greenperf": func() sim.Config {
+			return sim.Config{
+				Platform:    cluster.PaperPlatform(),
+				Policy:      sched.New(sched.GreenPerf),
+				Tasks:       equivTasks(t, 400, 64, 4),
+				Explore:     true,
+				Seed:        1,
+				ExecJitter:  0.05,
+				Contention:  0.2,
+				MeterNoiseW: 3,
+				SampleEvery: 30,
+			}
+		},
+		"random-policy": func() sim.Config {
+			return sim.Config{
+				Platform: cluster.PaperPlatform(),
+				Policy:   sched.New(sched.Random),
+				Tasks:    equivTasks(t, 300, 32, 8),
+				Seed:     42,
+			}
+		},
+		"crash-recovery": func() sim.Config {
+			plat := cluster.MustPlatform(cluster.NewNodes("taurus", 3), cluster.NewNodes("sagittaire", 3))
+			return sim.Config{
+				Platform:   plat,
+				Policy:     sched.New(sched.Power),
+				Tasks:      equivTasks(t, 200, 48, 2),
+				Explore:    true,
+				Seed:       7,
+				ExecJitter: 0.1,
+				Crashes: map[string]float64{
+					plat.Nodes[1].Name: 40,
+					plat.Nodes[4].Name: 95,
+				},
+			}
+		},
+		"composed-stack": func() sim.Config {
+			profile := equivProfile()
+			tracker, err := budget.NewTracker(4e8, 6*3600)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := workload.BurstThenRate{Total: 32, Burst: 16, Rate: 0.02, Ops: 9e11, Class: sla.ClassBatch}.Tasks()
+			if err != nil {
+				t.Fatal(err)
+			}
+			urgent, err := workload.BurstThenRate{Total: 16, Burst: 0, Rate: 0.01, Ops: 9e10,
+				Class: sla.ClassInteractive, RelDeadline: 150}.Tasks()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sim.NewScenario(
+				cluster.MustPlatform(cluster.NewNodes("taurus", 3), cluster.NewNodes("sagittaire", 3)),
+				workload.Merge(batch, workload.Shift(urgent, 60)),
+				sim.WithPolicy(sched.New(sched.Carbon)),
+				sim.WithExplore(),
+				sim.WithSeed(9),
+				sim.WithSlotsPerNode(1),
+				sim.WithTick(300),
+				sim.WithRetryEvery(510),
+				sim.WithModules(
+					&sim.CarbonModule{Profile: profile},
+					&budget.Module{Tracker: tracker, Steer: true, Base: core.PrefNone},
+					&sim.SLAModule{
+						Config: &sla.Config{
+							Catalog:      sla.DefaultCatalog(),
+							Admission:    &sla.Admission{Margin: 1},
+							Order:        sched.NewOrder(sched.EDF),
+							UrgentBypass: true,
+						},
+						WrapDeadline: true,
+					},
+					&sim.PreemptModule{Preemption: &sla.Preemption{RestartPenaltyFrac: 0.1}},
+					&consolidation.Module{Controller: &consolidation.CarbonController{
+						Profile:     profile,
+						CleanG:      350,
+						DirtyG:      500,
+						IdleTimeout: 600,
+						MinOn:       1,
+						MaxDeferSec: 4 * 3600,
+					}},
+				),
+			)
+		},
+	}
+}
+
+// TestEventKernelMatchesLegacyKernel runs every scenario on both
+// kernels and demands byte-identical Results.
+func TestEventKernelMatchesLegacyKernel(t *testing.T) {
+	for name, build := range equivConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			legacyCfg := build()
+			legacyCfg.LegacyKernel = true
+			legacyRes, err := sim.Run(legacyCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eventRes, err := sim.Run(build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacyJSON, err := json.Marshal(legacyRes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eventJSON, err := json.Marshal(eventRes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(legacyJSON, eventJSON) {
+				t.Errorf("kernels diverged:\nlegacy: %s\nevent:  %s", legacyJSON, eventJSON)
+			}
+			if !reflect.DeepEqual(legacyRes, eventRes) {
+				t.Error("kernels diverged on fields JSON does not reach")
+			}
+			if legacyRes.Completed == 0 {
+				t.Error("scenario completed nothing; equivalence is vacuous")
+			}
+		})
+	}
+}
+
+// TestComposedStackExercisesAllModules guards against the composed
+// scenario silently degenerating: emissions, the ledger and the
+// controller must all have fired, on both kernels.
+func TestComposedStackExercisesAllModules(t *testing.T) {
+	build := equivConfigs(t)["composed-stack"]
+	for _, legacy := range []bool{true, false} {
+		cfg := build()
+		cfg.LegacyKernel = legacy
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CO2Grams <= 0 {
+			t.Errorf("legacy=%v: no emissions integrated", legacy)
+		}
+		if res.SLA == nil || res.SLA.Completed == 0 {
+			t.Errorf("legacy=%v: ledger never ran", legacy)
+		}
+		if res.Boots+res.Shutdowns == 0 {
+			t.Errorf("legacy=%v: controller never acted", legacy)
+		}
+	}
+}

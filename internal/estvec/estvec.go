@@ -13,6 +13,7 @@ package estvec
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -61,17 +62,59 @@ const (
 	TagRenewableFrac Tag = "renewable_frac"
 )
 
+// stdTags enumerates the tags the bundled estimation functions and
+// policies touch on every election, in declaration order. They get
+// fixed array slots inside Vector so the sim's million-task hot loop
+// reads and writes them without a single map operation or allocation.
+// The "cores" entry is sched's auxiliary capacity tag (sched.TagCores)
+// — not exported here, but set by every SED, so it earns a slot too.
+var stdTags = [...]Tag{
+	TagFlops, TagPowerW, TagGreenPerf, TagFreeCores, TagQueueLen,
+	TagWaitSec, TagBootSec, TagBootPowerW, TagActive, TagKnown,
+	TagRequests, TagRandom, TagCarbonIntensity, TagRenewableFrac,
+	Tag("cores"),
+}
+
+const numStdTags = len(stdTags)
+
+var stdTagIndex = func() map[Tag]int {
+	m := make(map[Tag]int, numStdTags)
+	for i, t := range stdTags {
+		m[t] = i
+	}
+	return m
+}()
+
 // Vector is one server's estimation vector. The zero value is empty
 // and ready to use via Set.
+//
+// Standard tags live in a fixed array with a presence bitmask; only
+// custom plug-in tags spill into a lazily allocated map. A Vector can
+// therefore be embedded by value and recycled with Reset, which is how
+// the simulator's election loop stays allocation-free.
 type Vector struct {
 	// Server is the responding SED's unique name.
 	Server string
-	vals   map[Tag]float64
+	std    [numStdTags]float64
+	mask   uint32 // presence bits for std slots
+	extra  map[Tag]float64
 }
 
 // New returns an empty vector for a server.
 func New(server string) *Vector {
-	return &Vector{Server: server, vals: make(map[Tag]float64)}
+	return &Vector{Server: server}
+}
+
+// Reset empties the vector and retargets it at server, keeping any
+// overflow-map capacity. It lets hot loops reuse one Vector per
+// candidate slot instead of allocating fresh ones per election.
+func (v *Vector) Reset(server string) *Vector {
+	v.Server = server
+	v.mask = 0
+	for t := range v.extra {
+		delete(v.extra, t)
+	}
+	return v
 }
 
 // Set stores a metric, replacing any previous value. NaN and ±Inf are
@@ -81,10 +124,15 @@ func (v *Vector) Set(t Tag, val float64) *Vector {
 	if math.IsNaN(val) || math.IsInf(val, 0) {
 		panic(fmt.Sprintf("estvec: non-finite value %v for tag %q on %s", val, t, v.Server))
 	}
-	if v.vals == nil {
-		v.vals = make(map[Tag]float64)
+	if i, ok := stdTagIndex[t]; ok {
+		v.std[i] = val
+		v.mask |= 1 << uint(i)
+		return v
 	}
-	v.vals[t] = val
+	if v.extra == nil {
+		v.extra = make(map[Tag]float64)
+	}
+	v.extra[t] = val
 	return v
 }
 
@@ -98,14 +146,20 @@ func (v *Vector) SetBool(t Tag, b bool) *Vector {
 
 // Get returns the value for a tag and whether it was set.
 func (v *Vector) Get(t Tag) (float64, bool) {
-	val, ok := v.vals[t]
+	if i, ok := stdTagIndex[t]; ok {
+		if v.mask&(1<<uint(i)) == 0 {
+			return 0, false
+		}
+		return v.std[i], true
+	}
+	val, ok := v.extra[t]
 	return val, ok
 }
 
 // Value returns the tag's value, or def if unset. Policies use this to
 // stay robust against SEDs that omit optional tags.
 func (v *Vector) Value(t Tag, def float64) float64 {
-	if val, ok := v.vals[t]; ok {
+	if val, ok := v.Get(t); ok {
 		return val
 	}
 	return def
@@ -115,12 +169,17 @@ func (v *Vector) Value(t Tag, def float64) float64 {
 func (v *Vector) Bool(t Tag) bool { return v.Value(t, 0) != 0 }
 
 // Has reports whether the tag is present.
-func (v *Vector) Has(t Tag) bool { _, ok := v.vals[t]; return ok }
+func (v *Vector) Has(t Tag) bool { _, ok := v.Get(t); return ok }
 
 // Tags returns the present tags in sorted order.
 func (v *Vector) Tags() []Tag {
-	out := make([]Tag, 0, len(v.vals))
-	for t := range v.vals {
+	out := make([]Tag, 0, v.Len())
+	for i, t := range stdTags {
+		if v.mask&(1<<uint(i)) != 0 {
+			out = append(out, t)
+		}
+	}
+	for t := range v.extra {
 		out = append(out, t)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -128,13 +187,16 @@ func (v *Vector) Tags() []Tag {
 }
 
 // Len returns the number of set tags.
-func (v *Vector) Len() int { return len(v.vals) }
+func (v *Vector) Len() int { return bits.OnesCount32(v.mask) + len(v.extra) }
 
 // Clone returns a deep copy.
 func (v *Vector) Clone() *Vector {
-	c := New(v.Server)
-	for t, val := range v.vals {
-		c.vals[t] = val
+	c := &Vector{Server: v.Server, std: v.std, mask: v.mask}
+	if len(v.extra) > 0 {
+		c.extra = make(map[Tag]float64, len(v.extra))
+		for t, val := range v.extra {
+			c.extra[t] = val
+		}
 	}
 	return c
 }
@@ -149,7 +211,8 @@ func (v *Vector) String() string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%.4g", t, v.vals[t])
+		val, _ := v.Get(t)
+		fmt.Fprintf(&b, "%s=%.4g", t, val)
 	}
 	b.WriteByte('}')
 	return b.String()

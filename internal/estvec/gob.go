@@ -6,7 +6,9 @@ import (
 )
 
 // wireVector is the encoded form of a Vector: the exported shape used
-// by the middleware's TCP transport.
+// by the middleware's TCP transport. It stays map-based so the wire
+// format is independent of the in-memory array layout — peers built
+// before or after the array-backed Vector interoperate.
 type wireVector struct {
 	Server string
 	Vals   map[Tag]float64
@@ -15,8 +17,17 @@ type wireVector struct {
 // GobEncode implements gob.GobEncoder so vectors can cross the
 // middleware's network transport.
 func (v *Vector) GobEncode() ([]byte, error) {
+	vals := make(map[Tag]float64, v.Len())
+	for i, t := range stdTags {
+		if v.mask&(1<<uint(i)) != 0 {
+			vals[t] = v.std[i]
+		}
+	}
+	for t, val := range v.extra {
+		vals[t] = val
+	}
 	var buf bytes.Buffer
-	err := gob.NewEncoder(&buf).Encode(wireVector{Server: v.Server, Vals: v.vals})
+	err := gob.NewEncoder(&buf).Encode(wireVector{Server: v.Server, Vals: vals})
 	return buf.Bytes(), err
 }
 
@@ -26,10 +37,9 @@ func (v *Vector) GobDecode(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return err
 	}
-	v.Server = w.Server
-	v.vals = w.Vals
-	if v.vals == nil {
-		v.vals = make(map[Tag]float64)
+	v.Reset(w.Server)
+	for t, val := range w.Vals {
+		v.Set(t, val)
 	}
 	return nil
 }

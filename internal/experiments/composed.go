@@ -88,6 +88,37 @@ func DefaultComposedConfig() ComposedConfig {
 	}
 }
 
+// ScaleTasks rescales the scenario's four task streams so their sum
+// approaches total while preserving the mix's proportions (each stream
+// keeps at least one task, so the study's admission/preemption/deferral
+// paths all still fire). total <= 0 leaves the config untouched — the
+// CLI passes 0 for "use the calibrated default".
+func (c *ComposedConfig) ScaleTasks(total int) {
+	if total <= 0 {
+		return
+	}
+	base := c.SLA.BatchTasks + c.SLA.DeadlineTasks + c.SLA.HopelessTasks + c.SLA.InteractiveTasks
+	if base <= 0 {
+		return
+	}
+	scale := float64(total) / float64(base)
+	grow := func(n int) int {
+		scaled := int(float64(n) * scale)
+		if scaled < 1 {
+			return 1
+		}
+		return scaled
+	}
+	c.SLA.BatchTasks = grow(c.SLA.BatchTasks)
+	c.SLA.DeadlineTasks = grow(c.SLA.DeadlineTasks)
+	c.SLA.HopelessTasks = grow(c.SLA.HopelessTasks)
+	c.SLA.InteractiveTasks = grow(c.SLA.InteractiveTasks)
+	// The budget stays "generous per task" and the horizon tracks the
+	// longer run, so scaling exercises throughput — not starvation.
+	c.BudgetJ *= scale
+	c.BudgetHorizonSec = c.SLA.MakespanBound()
+}
+
 // Validate reports configuration errors.
 func (c ComposedConfig) Validate() error {
 	if err := c.SLA.Validate(); err != nil {

@@ -82,6 +82,12 @@ type LiveComposedConfig struct {
 	BudgetJ          float64
 	BudgetHorizonSec float64
 
+	// Concurrency, when positive, bounds each master's in-flight
+	// admissions (middleware.WithConcurrency): client fan-out beyond it
+	// queues at the semaphore instead of stampeding the election path.
+	// Zero means unbounded — the pre-PR-8 behaviour.
+	Concurrency int
+
 	// Registry, when set, receives fleet telemetry: each transport's
 	// master mounts an ObsInterceptor FIRST in its stack, publishing
 	// into this shared registry under a transport label
@@ -123,6 +129,34 @@ func DefaultLiveComposedConfig() LiveComposedConfig {
 	}
 }
 
+// ScaleTasks rescales the live request mix so Warmup + Interactive +
+// Batch + Hopeless approaches total while preserving proportions (each
+// stream keeps at least one request, so warmup measurement, the express
+// lane, deferral and admission-reject all still fire). total <= 0
+// leaves the config untouched.
+func (c *LiveComposedConfig) ScaleTasks(total int) {
+	if total <= 0 {
+		return
+	}
+	base := c.Warmup + c.Interactive + c.Batch + c.Hopeless
+	if base <= 0 {
+		return
+	}
+	scale := float64(total) / float64(base)
+	grow := func(n int) int {
+		scaled := int(float64(n) * scale)
+		if scaled < 1 {
+			return 1
+		}
+		return scaled
+	}
+	c.Warmup = grow(c.Warmup)
+	c.Interactive = grow(c.Interactive)
+	c.Batch = grow(c.Batch)
+	c.Hopeless = grow(c.Hopeless)
+	c.BudgetJ *= scale
+}
+
 // Validate reports configuration errors.
 func (c LiveComposedConfig) Validate() error {
 	switch {
@@ -138,6 +172,8 @@ func (c LiveComposedConfig) Validate() error {
 		return fmt.Errorf("experiments: MaxDeferSec %v must exceed the dirty window %v", c.MaxDeferSec, c.DirtyWindowSec)
 	case c.BudgetJ <= 0 || c.BudgetHorizonSec <= 0:
 		return fmt.Errorf("experiments: live study needs a positive budget and horizon")
+	case c.Concurrency < 0:
+		return fmt.Errorf("experiments: negative concurrency %d", c.Concurrency)
 	}
 	return nil
 }
@@ -363,6 +399,9 @@ func runLiveComposed(cfg LiveComposedConfig, transport string) (LiveComposedRun,
 	}
 	if spans != nil {
 		opts = append(opts, middleware.WithSpans(spans))
+	}
+	if cfg.Concurrency > 0 {
+		opts = append(opts, middleware.WithConcurrency(cfg.Concurrency))
 	}
 	var cleanup []func() error
 	defer func() {

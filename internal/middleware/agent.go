@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"greensched/internal/core"
@@ -26,15 +27,42 @@ type Child interface {
 // it forwards requests to its children in parallel, gathers their
 // candidate lists, and sorts the merged list with its plug-in
 // scheduler (§III-A steps 2–4).
+//
+// The agent's configuration lives behind an atomic copy-on-write
+// snapshot: Estimate loads one pointer and runs lock-free, so
+// concurrent requests never contend on a mutex just to read children
+// that almost never change. Mutators (Attach, SetPolicy, ...) build a
+// fresh snapshot under mu and publish it atomically.
 type Agent struct {
-	name   string
-	policy sched.Policy
+	name string
 
-	mu           sync.RWMutex
+	mu    sync.Mutex // serializes mutators; readers go through state
+	state atomic.Pointer[agentState]
+}
+
+// agentState is one immutable configuration snapshot. Fields are never
+// mutated after publication; mutators copy.
+type agentState struct {
 	children     []Child
+	policy       sched.Policy
 	topK         int
 	childTimeout time.Duration
 	spans        *obs.SpanWriter
+	filter       CandidateFilter
+	// localFanout is true when every child is an in-process SED:
+	// estimations answer in microseconds, so the fan-out calls them
+	// sequentially instead of paying goroutine churn per request.
+	// Recomputed by Attach.
+	localFanout bool
+}
+
+// mutate publishes a new snapshot derived from the current one.
+func (a *Agent) mutate(f func(st *agentState)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	next := *a.state.Load()
+	f(&next)
+	a.state.Store(&next)
 }
 
 // AgentConfig declares one agent of the hierarchy for the composed
@@ -58,6 +86,10 @@ type AgentConfig struct {
 	// Spans, when set, makes this agent emit an "estimate" span per
 	// fan-out (see Agent.SetSpans).
 	Spans *obs.SpanWriter
+	// CandidateFilter trims this agent's merged candidate list before
+	// the top-K cut (see Agent.SetCandidateFilter) — the sub-tree
+	// election hook.
+	CandidateFilter CandidateFilter
 }
 
 // NewAgentFromConfig builds a mid-tree agent from a config, running
@@ -71,6 +103,9 @@ func NewAgentFromConfig(cfg AgentConfig) (*Agent, error) {
 		a.SetChildTimeout(cfg.ChildTimeout)
 	}
 	a.SetSpans(cfg.Spans)
+	if cfg.CandidateFilter != nil {
+		a.SetCandidateFilter(cfg.CandidateFilter)
+	}
 	for _, ic := range cfg.Interceptors {
 		if ic == nil {
 			return nil, fmt.Errorf("middleware: agent %s: nil interceptor", cfg.Name)
@@ -95,7 +130,9 @@ func NewAgent(name string, policy sched.Policy, topK int) (*Agent, error) {
 	if topK < 0 {
 		return nil, fmt.Errorf("middleware: agent %s: negative topK", name)
 	}
-	return &Agent{name: name, policy: policy, topK: topK}, nil
+	a := &Agent{name: name}
+	a.state.Store(&agentState{policy: policy, topK: topK, localFanout: true})
+	return a, nil
 }
 
 // Name implements Child.
@@ -103,18 +140,27 @@ func (a *Agent) Name() string { return a.name }
 
 // Attach adds children (SEDs or sub-agents).
 func (a *Agent) Attach(children ...Child) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.children = append(a.children, children...)
+	a.mutate(func(st *agentState) {
+		// Fresh backing array: the previous snapshot's slice may still
+		// be scanned by an in-flight Estimate.
+		next := make([]Child, 0, len(st.children)+len(children))
+		next = append(next, st.children...)
+		st.children = append(next, children...)
+		st.localFanout = true
+		for _, c := range st.children {
+			if _, ok := c.(*SED); !ok {
+				st.localFanout = false
+				break
+			}
+		}
+	})
 }
 
 // SetChildTimeout bounds each child's estimation round trip; a slow or
 // hung subtree is then treated like a failed one instead of stalling
 // the whole scheduling process. Zero (the default) disables the bound.
 func (a *Agent) SetChildTimeout(d time.Duration) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.childTimeout = d
+	a.mutate(func(st *agentState) { st.childTimeout = d })
 }
 
 // SetPolicy swaps the plug-in scheduler at runtime (the paper's
@@ -123,16 +169,22 @@ func (a *Agent) SetPolicy(p sched.Policy) {
 	if p == nil {
 		return
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.policy = p
+	a.mutate(func(st *agentState) { st.policy = p })
 }
 
 // Policy returns the current plug-in scheduler.
 func (a *Agent) Policy() sched.Policy {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.policy
+	return a.state.Load().policy
+}
+
+// SetCandidateFilter trims this agent's merged, sorted candidate list
+// before the top-K cut — a sub-tree election: a Local Agent can apply
+// its own Preference_provider to the servers it fronts, so the upward
+// list already reflects a per-site provisioning decision. Nil removes
+// the filter. (MasterAgent.SetCandidateFilter is the root-level
+// variant applied at election time.)
+func (a *Agent) SetCandidateFilter(f CandidateFilter) {
+	a.mutate(func(st *agentState) { st.filter = f })
 }
 
 // SetSpans makes the agent emit one "estimate" span per traced fan-out
@@ -143,21 +195,23 @@ func (a *Agent) Policy() sched.Policy {
 // encode/decode) nest under the level that crossed the wire. Nil turns
 // emission off.
 func (a *Agent) SetSpans(w *obs.SpanWriter) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.spans = w
+	a.mutate(func(st *agentState) { st.spans = w })
 }
 
 // Estimate implements Child: parallel fan-out, merge, plug-in sort,
-// optional top-K trim.
+// per-agent candidate filter, optional top-K trim. The configuration
+// snapshot is one atomic load — concurrent requests share it without
+// locking or copying — and the fan-out spawns the minimum goroutines
+// the semantics allow: none for a single child without a timeout, one
+// per child without a timeout, two per child (worker + abandoning
+// waiter) only when a timeout must cut a hung subtree loose.
 func (a *Agent) Estimate(ctx context.Context, req Request) (estvec.List, error) {
-	a.mu.RLock()
-	children := append([]Child(nil), a.children...)
-	policy := a.policy
-	topK := a.topK
-	childTimeout := a.childTimeout
-	spans := a.spans
-	a.mu.RUnlock()
+	st := a.state.Load()
+	children := st.children
+	policy := st.policy
+	topK := st.topK
+	childTimeout := st.childTimeout
+	spans := st.spans
 	if len(children) == 0 {
 		return nil, nil
 	}
@@ -165,9 +219,10 @@ func (a *Agent) Estimate(ctx context.Context, req Request) (estvec.List, error) 
 	// One "estimate" span per traced fan-out at this level. The copies
 	// forwarded to children parent under it, so sub-agent estimates and
 	// transport spans nest per hierarchy level.
-	estStart := obs.Uptime()
+	var estStart float64
 	var estSpan *obs.Span
 	if spans != nil && req.TraceID != 0 {
+		estStart = obs.Uptime()
 		estSpan = &obs.Span{
 			TraceID: req.TraceID, SpanID: obs.NewSpanID(), Parent: req.ParentSpan,
 			Name: obs.StageEstimate, Src: a.name, Start: estStart,
@@ -189,52 +244,76 @@ func (a *Agent) Estimate(ctx context.Context, req Request) (estvec.List, error) 
 		spans.Emit(*estSpan)
 	}
 
-	lists := make([]estvec.List, len(children))
-	errs := make([]error, len(children))
-	var wg sync.WaitGroup
-	for i, c := range children {
-		wg.Add(1)
-		go func(i int, c Child) {
-			defer wg.Done()
-			childCtx := ctx
-			if childTimeout > 0 {
-				var cancel context.CancelFunc
-				childCtx, cancel = context.WithTimeout(ctx, childTimeout)
-				defer cancel()
-			}
-			type estimation struct {
-				list estvec.List
-				err  error
-			}
-			ch := make(chan estimation, 1) // buffered: abandoned child must not leak
-			go func() {
-				list, err := c.Estimate(childCtx, req)
-				ch <- estimation{list, err}
-			}()
-			select {
-			case r := <-ch:
-				lists[i], errs[i] = r.list, r.err
-			case <-childCtx.Done():
-				// The child ignored cancellation; abandon it.
-				errs[i] = fmt.Errorf("middleware: child %s timed out: %w", c.Name(), childCtx.Err())
-			}
-		}(i, c)
-	}
-	wg.Wait()
-
 	var merged estvec.List
 	var lastErr error
 	healthy := 0
-	for i := range lists {
-		if errs[i] != nil {
-			// A dead child must not fail the whole hierarchy;
-			// DIET treats unreachable subtrees as empty. Keep the
-			// last error for the all-failed case.
-			lastErr = errs[i]
-			continue
+	switch {
+	case childTimeout <= 0 && (len(children) == 1 || st.localFanout):
+		// A single child, or all in-process SEDs: their estimations
+		// answer in microseconds, so sequential calls beat spawning
+		// goroutines per request. Merge order matches children order,
+		// exactly like the indexed parallel paths.
+		for _, c := range children {
+			list, err := c.Estimate(ctx, req)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			healthy++
+			if merged == nil {
+				merged = list
+			} else {
+				merged = append(merged, list...)
+			}
 		}
-		healthy++
-		merged = append(merged, lists[i]...)
+	case childTimeout <= 0:
+		// No timeout to enforce: one goroutine per child.
+		lists := make([]estvec.List, len(children))
+		errs := make([]error, len(children))
+		var wg sync.WaitGroup
+		wg.Add(len(children))
+		for i, c := range children {
+			go func(i int, c Child) {
+				defer wg.Done()
+				lists[i], errs[i] = c.Estimate(ctx, req)
+			}(i, c)
+		}
+		wg.Wait()
+		merged, lastErr, healthy = mergeLists(lists, errs)
+	default:
+		// Bounded round trips: a worker per child plus a waiter that
+		// abandons it at the deadline (the worker may ignore
+		// cancellation; its result channel is buffered so it never
+		// leaks).
+		lists := make([]estvec.List, len(children))
+		errs := make([]error, len(children))
+		var wg sync.WaitGroup
+		wg.Add(len(children))
+		for i, c := range children {
+			go func(i int, c Child) {
+				defer wg.Done()
+				childCtx, cancel := context.WithTimeout(ctx, childTimeout)
+				defer cancel()
+				type estimation struct {
+					list estvec.List
+					err  error
+				}
+				ch := make(chan estimation, 1)
+				go func() {
+					list, err := c.Estimate(childCtx, req)
+					ch <- estimation{list, err}
+				}()
+				select {
+				case r := <-ch:
+					lists[i], errs[i] = r.list, r.err
+				case <-childCtx.Done():
+					// The child ignored cancellation; abandon it.
+					errs[i] = fmt.Errorf("middleware: child %s timed out: %w", c.Name(), childCtx.Err())
+				}
+			}(i, c)
+		}
+		wg.Wait()
+		merged, lastErr, healthy = mergeLists(lists, errs)
 	}
 	if healthy == 0 && lastErr != nil {
 		err := fmt.Errorf("middleware: agent %s: all children failed: %w", a.name, lastErr)
@@ -242,11 +321,29 @@ func (a *Agent) Estimate(ctx context.Context, req Request) (estvec.List, error) 
 		return nil, err
 	}
 	merged.SortStable(policy.Less)
+	if st.filter != nil {
+		merged = st.filter(merged)
+	}
 	if topK > 0 && len(merged) > topK {
 		merged = merged[:topK]
 	}
 	endEstimate(len(merged), nil)
 	return merged, nil
+}
+
+// mergeLists folds the indexed fan-out results in children order. A
+// dead child must not fail the whole hierarchy; DIET treats unreachable
+// subtrees as empty. The last error is kept for the all-failed case.
+func mergeLists(lists []estvec.List, errs []error) (merged estvec.List, lastErr error, healthy int) {
+	for i := range lists {
+		if errs[i] != nil {
+			lastErr = errs[i]
+			continue
+		}
+		healthy++
+		merged = append(merged, lists[i]...)
+	}
+	return merged, lastErr, healthy
 }
 
 // CandidateFilter trims the final candidate list at the Master Agent
@@ -255,10 +352,18 @@ func (a *Agent) Estimate(ctx context.Context, req Request) (estvec.List, error) 
 type CandidateFilter func(estvec.List) estvec.List
 
 // MasterAgent is the hierarchy root: it runs the full scheduling
-// process and elects the SED for a request.
+// process and elects the SED for a request. Its election state
+// (provisioning filter + selector) sits behind the same atomic
+// copy-on-write discipline as the Agent snapshot, so concurrent
+// elections never serialize on configuration reads.
 type MasterAgent struct {
 	*Agent
-	mu       sync.RWMutex
+	mu    sync.Mutex // serializes mutators; readers load elect
+	elect atomic.Pointer[electState]
+}
+
+// electState is the root's immutable election configuration.
+type electState struct {
 	filter   CandidateFilter
 	selector *sched.Selector
 }
@@ -269,14 +374,18 @@ func NewMasterAgent(name string, policy sched.Policy) (*MasterAgent, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MasterAgent{Agent: a, selector: sched.NewSelector(policy)}, nil
+	m := &MasterAgent{Agent: a}
+	m.elect.Store(&electState{selector: sched.NewSelector(policy)})
+	return m, nil
 }
 
 // SetCandidateFilter installs the provisioning filter.
 func (m *MasterAgent) SetCandidateFilter(f CandidateFilter) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.filter = f
+	next := *m.elect.Load()
+	next.filter = f
+	m.elect.Store(&next)
 }
 
 // SetPolicy swaps both the sort policy and the election policy.
@@ -287,7 +396,9 @@ func (m *MasterAgent) SetPolicy(p sched.Policy) {
 	m.Agent.SetPolicy(p)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.selector = sched.NewSelector(p)
+	next := *m.elect.Load()
+	next.selector = sched.NewSelector(p)
+	m.elect.Store(&next)
 }
 
 // Elect runs steps 2–4 of the scheduling process and returns the
@@ -297,10 +408,9 @@ func (m *MasterAgent) Elect(ctx context.Context, req Request) (string, estvec.Li
 	if err != nil {
 		return "", nil, err
 	}
-	m.mu.RLock()
-	filter := m.filter
-	selector := m.selector
-	m.mu.RUnlock()
+	st := m.elect.Load()
+	filter := st.filter
+	selector := st.selector
 	if filter != nil {
 		list = filter(list)
 	}
@@ -371,8 +481,7 @@ type Client struct {
 	ma  *MasterAgent
 	dir Directory
 
-	nextID uint64
-	mu     sync.Mutex
+	nextID atomic.Uint64
 }
 
 // NewClient builds a client.
@@ -385,11 +494,7 @@ func NewClient(ma *MasterAgent, dir Directory) (*Client, error) {
 
 // Submit runs the full §III-A problem-submission flow.
 func (c *Client) Submit(ctx context.Context, service string, ops float64, pref float64, payload []byte) (Response, error) {
-	c.mu.Lock()
-	c.nextID++
-	id := c.nextID
-	c.mu.Unlock()
-	req := Request{ID: id, Service: service, Ops: ops, Pref: core.UserPref(pref), Payload: payload}
+	req := Request{ID: c.nextID.Add(1), Service: service, Ops: ops, Pref: core.UserPref(pref), Payload: payload}
 
 	server, _, err := c.ma.Elect(ctx, req)
 	if err != nil {

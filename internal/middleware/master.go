@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -23,11 +24,13 @@ import (
 type Master struct {
 	*MasterAgent
 
-	dir     Directory
-	ics     []Interceptor
-	clock   func() float64
-	sink    *spanSink
-	retries int
+	dir         Directory
+	ics         []Interceptor
+	clock       func() float64
+	sink        *spanSink
+	retries     int
+	concurrency int
+	sem         chan struct{}
 
 	nextID    atomic.Uint64
 	submitted atomic.Int64
@@ -35,10 +38,28 @@ type Master struct {
 	rejected  atomic.Int64
 	failed    atomic.Int64
 
-	mu      sync.Mutex
-	energyJ float64
+	// energyBits is the running joule total as math.Float64bits — a
+	// CAS loop instead of a mutex, so thousands of concurrent
+	// completions don't serialize on the accumulator.
+	energyBits atomic.Uint64
 
 	metrics *obs.Server
+}
+
+// addEnergy folds one completion's joules into the running total.
+func (m *Master) addEnergy(j float64) {
+	for {
+		old := m.energyBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + j)
+		if m.energyBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// EnergyJ is the summed attributed energy of every completion so far.
+func (m *Master) EnergyJ() float64 {
+	return math.Float64frombits(m.energyBits.Load())
 }
 
 // masterConfig is what the functional options assemble.
@@ -53,6 +74,7 @@ type masterConfig struct {
 	metricsAddr string
 	spans       *obs.SpanWriter
 	retries     int
+	concurrency int
 }
 
 // Option configures NewMaster.
@@ -145,6 +167,17 @@ func WithSpans(w *obs.SpanWriter) Option {
 	return func(c *masterConfig) { c.spans = w }
 }
 
+// WithConcurrency bounds the master's in-flight request lifecycles to
+// n: Do blocks for a slot (respecting ctx) before admission, and
+// Pipeline runs n workers. Zero (the default) leaves Do unbounded and
+// gives Pipeline one worker. The bound is backpressure at the front
+// door — the live analogue of the simulator's bounded event queue —
+// so a burst of clients queues at the master instead of fanning a
+// thousand simultaneous elections into the hierarchy.
+func WithConcurrency(n int) Option {
+	return func(c *masterConfig) { c.concurrency = n }
+}
+
 // WithRetries arms failover inside Do: when the elected SED's Solve
 // fails (transport loss, execution error) and the context is still
 // live, the master re-elects excluding the failed servers, up to n
@@ -220,7 +253,14 @@ func NewMaster(opts ...Option) (*Master, error) {
 		clock = func() float64 { return time.Since(epoch).Seconds() }
 	}
 
-	m := &Master{MasterAgent: ma, dir: dir, ics: cfg.agent.Interceptors, clock: clock, retries: cfg.retries}
+	if cfg.concurrency < 0 {
+		return nil, fmt.Errorf("middleware: master %s: negative concurrency", cfg.agent.Name)
+	}
+	m := &Master{MasterAgent: ma, dir: dir, ics: cfg.agent.Interceptors, clock: clock,
+		retries: cfg.retries, concurrency: cfg.concurrency}
+	if cfg.concurrency > 0 {
+		m.sem = make(chan struct{}, cfg.concurrency)
+	}
 	for _, ic := range m.ics {
 		if ic == nil {
 			return nil, fmt.Errorf("middleware: master %s: nil interceptor", cfg.agent.Name)
@@ -297,6 +337,14 @@ func (m *Master) Submit(ctx context.Context, service string, ops float64, pref f
 // WithSpans — and every stage feeds greensched_stage_seconds when an
 // ObsInterceptor registry is mounted.
 func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
+	if m.sem != nil {
+		select {
+		case m.sem <- struct{}{}:
+			defer func() { <-m.sem }()
+		case <-ctx.Done():
+			return Response{}, ctx.Err()
+		}
+	}
 	if req.ID == 0 {
 		req.ID = m.nextID.Add(1)
 	}
@@ -307,21 +355,29 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 	// downstream span stitches to this root by ID alone (no cross-
 	// process clock agreement needed; Start is each emitter's clock).
 	var rootID uint64
-	rootStart := obs.Uptime()
+	var rootStart float64
 	if m.sink != nil {
-		if req.TraceID == 0 {
-			req.TraceID = obs.NewSpanID()
+		rootStart = obs.Uptime()
+		if m.sink.spans() {
+			if req.TraceID == 0 {
+				req.TraceID = obs.NewSpanID()
+			}
+			rootID = obs.NewSpanID()
+			req.ParentSpan = rootID
 		}
-		rootID = obs.NewSpanID()
-		req.ParentSpan = rootID
 	}
 	endRoot := func(err error) {
 		if m.sink == nil {
 			return
 		}
+		dur := obs.Uptime() - rootStart
+		if !m.sink.spans() {
+			m.sink.observe(obs.StageSubmit, dur)
+			return
+		}
 		sp := obs.Span{
 			TraceID: req.TraceID, SpanID: rootID,
-			Name: obs.StageSubmit, Start: rootStart, DurSec: obs.Uptime() - rootStart,
+			Name: obs.StageSubmit, Start: rootStart, DurSec: dur,
 			Attrs: map[string]string{"service": req.Service},
 		}
 		if err != nil {
@@ -331,7 +387,10 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 	}
 
 	if len(m.ics) > 0 {
-		admStart := obs.Uptime()
+		var admStart float64
+		if m.sink != nil {
+			admStart = obs.Uptime()
+		}
 		for _, ic := range m.ics {
 			if err := ic.OnSubmit(ctx, m.clock(), &req); err != nil {
 				if errors.Is(err, ErrRejected) {
@@ -369,7 +428,9 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 		return Response{}, err
 	}
 
-	excluded := make(map[string]bool)
+	// Allocated only on the first failover — the success path never
+	// pays for the map.
+	var excluded map[string]bool
 	for attempt := 0; ; attempt++ {
 		// Election. The elect span's ID is minted up front so the
 		// per-level estimate spans (and, through them, transport spans)
@@ -379,12 +440,15 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 		if attempt > 0 {
 			stage = obs.StageReelect
 		}
-		electStart := obs.Uptime()
+		var electStart float64
 		ereq := req
 		var electID uint64
 		if m.sink != nil {
-			electID = obs.NewSpanID()
-			ereq.ParentSpan = electID
+			electStart = obs.Uptime()
+			if m.sink.spans() {
+				electID = obs.NewSpanID()
+				ereq.ParentSpan = electID
+			}
 		}
 		var server string
 		var list estvec.List
@@ -395,17 +459,22 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 			server, list, err = m.ElectExcluding(ctx, ereq, excluded)
 		}
 		if m.sink != nil {
-			sp := obs.Span{
-				TraceID: req.TraceID, SpanID: electID, Parent: rootID,
-				Name: stage, Start: electStart, DurSec: obs.Uptime() - electStart,
+			electDur := obs.Uptime() - electStart
+			if !m.sink.spans() {
+				m.sink.observe(stage, electDur)
+			} else {
+				sp := obs.Span{
+					TraceID: req.TraceID, SpanID: electID, Parent: rootID,
+					Name: stage, Start: electStart, DurSec: electDur,
+				}
+				if server != "" {
+					sp.Attrs = map[string]string{"server": server}
+				}
+				if err != nil {
+					sp.Err = err.Error()
+				}
+				m.sink.emit(sp)
 			}
-			if server != "" {
-				sp.Attrs = map[string]string{"server": server}
-			}
-			if err != nil {
-				sp.Err = err.Error()
-			}
-			m.sink.emit(sp)
 		}
 		if err != nil {
 			return fail("", submitAt, err)
@@ -425,17 +494,23 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 		// transport (dial/encode/decode) and SED (queue/solve) spans
 		// nest here.
 		start := m.clock()
-		dispStart := obs.Uptime()
+		var dispStart float64
 		dreq := req
 		var dispID uint64
 		if m.sink != nil {
-			dispID = obs.NewSpanID()
-			dreq.ParentSpan = dispID
+			dispStart = obs.Uptime()
+			if m.sink.spans() {
+				dispID = obs.NewSpanID()
+				dreq.ParentSpan = dispID
+			}
 		}
 		resp, err := solver.Solve(ctx, dreq)
 		m.endDispatch(req, rootID, dispID, server, dispStart, resp, err)
 		if err != nil {
 			if attempt < m.retries && ctx.Err() == nil {
+				if excluded == nil {
+					excluded = make(map[string]bool)
+				}
 				excluded[server] = true
 				continue
 			}
@@ -444,9 +519,7 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 		finish := m.clock()
 
 		m.completed.Add(1)
-		m.mu.Lock()
-		m.energyJ += resp.EnergyJ
-		m.mu.Unlock()
+		m.addEnergy(resp.EnergyJ)
 
 		rec := RequestRecord{
 			Req: req, Server: resp.Server,
@@ -461,15 +534,70 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 	}
 }
 
+// Outcome pairs a pipelined request with its result.
+type Outcome struct {
+	Req  Request
+	Resp Response
+	Err  error
+}
+
+// Pipeline runs every request from reqs through the full Do lifecycle
+// on a bounded worker pool and streams the outcomes — the submission
+// analogue of the simulator swallowing a million-task workload in one
+// call. The pool size is WithConcurrency's n (1 without it); outcomes
+// arrive in completion order, not submission order, and the channel
+// closes once reqs is closed and drained. Cancelling ctx stops the
+// workers; requests not yet started are dropped, never failed.
+func (m *Master) Pipeline(ctx context.Context, reqs <-chan Request) <-chan Outcome {
+	workers := m.concurrency
+	if workers <= 0 {
+		workers = 1
+	}
+	out := make(chan Outcome, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case req, ok := <-reqs:
+					if !ok {
+						return
+					}
+					resp, err := m.Do(ctx, req)
+					select {
+					case out <- Outcome{Req: req, Resp: resp, Err: err}:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
 // emitStage records one master-side stage span parented under the
 // request's root span. A nil sink costs nothing.
 func (m *Master) emitStage(req Request, rootID uint64, stage string, start float64, err error) {
 	if m.sink == nil {
 		return
 	}
+	dur := obs.Uptime() - start
+	if !m.sink.spans() {
+		m.sink.observe(stage, dur)
+		return
+	}
 	sp := obs.Span{
 		TraceID: req.TraceID, SpanID: obs.NewSpanID(), Parent: rootID,
-		Name: stage, Start: start, DurSec: obs.Uptime() - start,
+		Name: stage, Start: start, DurSec: dur,
 	}
 	if err != nil {
 		sp.Err = err.Error()
@@ -491,6 +619,20 @@ func (m *Master) endDispatch(req Request, rootID, dispID uint64, server string, 
 		return
 	}
 	dispDur := obs.Uptime() - dispStart
+	if !m.sink.spans() {
+		m.sink.observe(obs.StageDispatch, dispDur)
+		if err != nil {
+			return
+		}
+		reply := dispDur - resp.QueueSec - resp.ExecSec
+		if reply < 0 {
+			reply = 0
+		}
+		m.sink.observe(obs.StageQueue, resp.QueueSec)
+		m.sink.observe(obs.StageSolve, resp.ExecSec)
+		m.sink.observe(obs.StageReply, reply)
+		return
+	}
 	sp := obs.Span{
 		TraceID: req.TraceID, SpanID: dispID, Parent: rootID,
 		Name: obs.StageDispatch, Start: dispStart, DurSec: dispDur,
@@ -536,9 +678,7 @@ func (m *Master) endDispatch(req Request, rootID, dispID uint64, server string, 
 // grams and joules later interceptors published). Call it when the
 // workload drains; calling again re-publishes current totals.
 func (m *Master) Finalize() *LiveResult {
-	m.mu.Lock()
-	energy := m.energyJ
-	m.mu.Unlock()
+	energy := m.EnergyJ()
 	res := &LiveResult{
 		Submitted: int(m.submitted.Load()),
 		Completed: int(m.completed.Load()),

@@ -178,8 +178,11 @@ type SEDConfig struct {
 // SED is a Server Daemon: a service provider with bounded concurrency,
 // a FIFO admission queue and a dynamic power/performance estimator.
 type SED struct {
-	cfg      SEDConfig
-	services map[string]Service
+	cfg SEDConfig
+	// services is a copy-on-write map (Register replaces it whole):
+	// Estimate and Solve look services up with one atomic load instead
+	// of taking the estimator mutex on every request.
+	services atomic.Pointer[map[string]Service]
 
 	// estFn is the effective estimation function after the interceptor
 	// chain's WrapEstimation hooks fold over DefaultEstimation;
@@ -266,11 +269,11 @@ func NewSED(cfg SEDConfig) (*SED, error) {
 		cfg.EstimatorWindow = 64
 	}
 	s := &SED{
-		cfg:      cfg,
-		services: make(map[string]Service),
-		sem:      make(chan struct{}, cfg.Slots),
-		est:      power.NewEstimator(cfg.EstimatorWindow),
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.Slots),
+		est: power.NewEstimator(cfg.EstimatorWindow),
 	}
+	s.services.Store(&map[string]Service{})
 	s.active.Store(true)
 
 	// Legacy adapters first, in a fixed documented order. cfg.Carbon
@@ -346,14 +349,21 @@ func (s *SED) readPower() (float64, bool) {
 // Name returns the SED's unique name.
 func (s *SED) Name() string { return s.cfg.Name }
 
-// Register adds (or replaces) a service.
+// Register adds (or replaces) a service. It publishes a fresh copy of
+// the service map, so in-flight lookups keep reading the old one.
 func (s *SED) Register(svc Service) error {
 	if svc.Name == "" || svc.Solve == nil {
 		return fmt.Errorf("middleware: SED %s: invalid service", s.cfg.Name)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.services[svc.Name] = svc
+	old := *s.services.Load()
+	next := make(map[string]Service, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[svc.Name] = svc
+	s.services.Store(&next)
 	return nil
 }
 
@@ -373,10 +383,7 @@ func (s *SED) Failed() uint64 { return s.fails.Load() }
 // Estimate responds to a request propagation (§III-A step 3): nil when
 // the SED does not offer the service, otherwise a single-vector list.
 func (s *SED) Estimate(ctx context.Context, req Request) (estvec.List, error) {
-	s.mu.Lock()
-	_, offers := s.services[req.Service]
-	s.mu.Unlock()
-	if !offers {
+	if _, offers := (*s.services.Load())[req.Service]; !offers {
 		return nil, nil
 	}
 	return estvec.List{s.estFn(s, req)}, nil
@@ -454,9 +461,7 @@ func (s *SED) emitSpan(req Request, stage string, start, dur float64, errText st
 // response (and, with SEDConfig.Spans, becomes the SED's own queue and
 // solve spans) so the master can decompose the dispatch round trip.
 func (s *SED) Solve(ctx context.Context, req Request) (Response, error) {
-	s.mu.Lock()
-	svc, ok := s.services[req.Service]
-	s.mu.Unlock()
+	svc, ok := (*s.services.Load())[req.Service]
 	if !ok {
 		s.fails.Add(1)
 		return Response{}, fmt.Errorf("middleware: SED %s does not offer %q", s.cfg.Name, req.Service)
@@ -522,29 +527,32 @@ func (s *SED) Solve(ctx context.Context, req Request) (Response, error) {
 }
 
 // randFloat is a package-level uniform source for the RANDOM policy
-// tag. It is deliberately behind a mutex rather than per-SED so that
-// concurrent estimations stay uniform.
-var (
-	randMu    sync.Mutex
-	randState uint64 = 0x9E3779B97F4A7C15
-)
+// tag. It is deliberately shared rather than per-SED so that
+// concurrent estimations stay uniform; a CAS loop on the xorshift
+// state replaces the old mutex so the random tag never becomes the
+// serialization point of a parallel fan-out.
+var randState atomic.Uint64
+
+func init() { randState.Store(0x9E3779B97F4A7C15) }
 
 func randFloat() float64 {
-	randMu.Lock()
-	defer randMu.Unlock()
 	// xorshift64*: small, deterministic-enough shuffle source.
-	randState ^= randState >> 12
-	randState ^= randState << 25
-	randState ^= randState >> 27
-	return float64((randState*0x2545F4914F6CDD1D)>>11) / float64(1<<53)
+	for {
+		old := randState.Load()
+		x := old
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		if randState.CompareAndSwap(old, x) {
+			return float64((x*0x2545F4914F6CDD1D)>>11) / float64(1<<53)
+		}
+	}
 }
 
 // SeedRand reseeds the shared shuffle source (tests).
 func SeedRand(seed uint64) {
-	randMu.Lock()
-	defer randMu.Unlock()
 	if seed == 0 {
 		seed = 1
 	}
-	randState = seed
+	randState.Store(seed)
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"greensched/internal/estvec"
 	"greensched/internal/obs"
@@ -97,6 +98,13 @@ type ObsInterceptor struct {
 	seen         map[uint64]struct{}
 	lastDeferred float64
 	lastDefSec   float64
+
+	// electBy caches the per-server election counters (copy-on-write,
+	// like the Agent snapshots): the hot OnElect path is one atomic load
+	// and a map read instead of two slice allocations plus a label-key
+	// join under the family mutex per request.
+	electMu sync.Mutex
+	electBy atomic.Pointer[map[string]obs.Counter]
 }
 
 // Metrics returns the registry the interceptor publishes into —
@@ -124,6 +132,7 @@ func (o *ObsInterceptor) Init(mount Mount) error {
 		o.vals[i] = o.Labels[k]
 	}
 	o.seen = make(map[uint64]struct{})
+	o.electBy.Store(&map[string]obs.Counter{})
 
 	reg := o.Registry
 	counter := func(name, help string) obs.Counter {
@@ -214,9 +223,32 @@ func (o *ObsInterceptor) OnSubmit(_ context.Context, now float64, req *Request) 
 // the admit + elect transitions hit the trace (an elected request has,
 // by construction, cleared every admission screen before it).
 func (o *ObsInterceptor) OnElect(now float64, req Request, server string, _ estvec.List) {
-	o.elections.With(append(append([]string{}, o.vals...), server)...).Inc()
+	o.electionCounter(server).Inc()
 	o.Tracer.Emit(obs.Event{T: now, Event: obs.EventAdmit, ID: req.ID, Src: o.src, Class: req.Class})
 	o.Tracer.Emit(obs.Event{T: now, Event: obs.EventElect, ID: req.ID, Src: o.src, Class: req.Class, Server: server})
+}
+
+// electionCounter resolves the per-server election counter through the
+// copy-on-write cache; a miss (first election of a new server) takes
+// the slow path once and publishes a fresh snapshot.
+func (o *ObsInterceptor) electionCounter(server string) obs.Counter {
+	if c, ok := (*o.electBy.Load())[server]; ok {
+		return c
+	}
+	o.electMu.Lock()
+	defer o.electMu.Unlock()
+	cur := *o.electBy.Load()
+	if c, ok := cur[server]; ok {
+		return c
+	}
+	c := o.elections.With(append(append([]string{}, o.vals...), server)...)
+	next := make(map[string]obs.Counter, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[server] = c
+	o.electBy.Store(&next)
+	return c
 }
 
 // OnComplete implements Interceptor: outcomes split into completions,

@@ -12,6 +12,12 @@ type spanSink struct {
 	w    *obs.SpanWriter   // may be nil: histograms only
 	hist *obs.HistogramVec // may be nil: spans only
 	src  string            // the master's name
+
+	// The canonical stages' histogram children, pre-resolved at
+	// construction so the per-request observe path is a constant-string
+	// switch instead of a label-key join under the family mutex.
+	submitH, admissionH, electH, reelectH, estimateH obs.Histogram
+	dispatchH, queueH, solveH, replyH                obs.Histogram
 }
 
 // stageBuckets span the decomposed stages' dynamic range: in-process
@@ -28,9 +34,24 @@ func newSpanSink(src string, w *obs.SpanWriter, reg *obs.Registry) *spanSink {
 	if reg != nil {
 		s.hist = reg.HistogramVec("greensched_stage_seconds",
 			"Request latency decomposed by lifecycle stage.", stageBuckets, "src", "stage")
+		s.submitH = s.hist.With(src, obs.StageSubmit)
+		s.admissionH = s.hist.With(src, obs.StageAdmission)
+		s.electH = s.hist.With(src, obs.StageElect)
+		s.reelectH = s.hist.With(src, obs.StageReelect)
+		s.estimateH = s.hist.With(src, obs.StageEstimate)
+		s.dispatchH = s.hist.With(src, obs.StageDispatch)
+		s.queueH = s.hist.With(src, obs.StageQueue)
+		s.solveH = s.hist.With(src, obs.StageSolve)
+		s.replyH = s.hist.With(src, obs.StageReply)
 	}
 	return s
 }
+
+// spans reports whether full span records are wanted — a JSONL writer
+// is attached. Histogram-only sinks (registry, no writer) skip span
+// construction entirely: no trace/span IDs, no Attrs maps, just stage
+// durations into the histogram.
+func (s *spanSink) spans() bool { return s != nil && s.w != nil }
 
 // emit records one span: histogram always, writer when present.
 func (s *spanSink) emit(sp obs.Span) {
@@ -51,5 +72,26 @@ func (s *spanSink) observe(stage string, dur float64) {
 	if s == nil || s.hist == nil {
 		return
 	}
-	s.hist.With(s.src, stage).Observe(dur)
+	switch stage {
+	case obs.StageSubmit:
+		s.submitH.Observe(dur)
+	case obs.StageAdmission:
+		s.admissionH.Observe(dur)
+	case obs.StageElect:
+		s.electH.Observe(dur)
+	case obs.StageReelect:
+		s.reelectH.Observe(dur)
+	case obs.StageEstimate:
+		s.estimateH.Observe(dur)
+	case obs.StageDispatch:
+		s.dispatchH.Observe(dur)
+	case obs.StageQueue:
+		s.queueH.Observe(dur)
+	case obs.StageSolve:
+		s.solveH.Observe(dur)
+	case obs.StageReply:
+		s.replyH.Observe(dur)
+	default:
+		s.hist.With(s.src, stage).Observe(dur)
+	}
 }

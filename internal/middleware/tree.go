@@ -78,10 +78,7 @@ func (m *MasterAgent) ElectExcluding(ctx context.Context, req Request, exclude m
 	if len(filtered) == 0 {
 		return "", nil, fmt.Errorf("middleware: all candidates for %q excluded", req.Service)
 	}
-	m.mu.RLock()
-	selector := m.selector
-	m.mu.RUnlock()
-	chosen, err := selector.Select(filtered)
+	chosen, err := m.elect.Load().selector.Select(filtered)
 	if err != nil {
 		return "", filtered, err
 	}
@@ -93,10 +90,7 @@ func (m *MasterAgent) ElectExcluding(ctx context.Context, req Request, exclude m
 // up to `retries` additional attempts. Context cancellation is
 // terminal (the client gave up, not the server).
 func (c *Client) SubmitWithRetry(ctx context.Context, service string, ops float64, pref float64, payload []byte, retries int) (Response, error) {
-	c.mu.Lock()
-	c.nextID++
-	id := c.nextID
-	c.mu.Unlock()
+	id := c.nextID.Add(1)
 	req := Request{ID: id, Service: service, Ops: ops, Pref: core.UserPref(pref), Payload: payload}
 
 	exclude := map[string]bool{}

@@ -53,25 +53,31 @@ func NewSelector(p Policy) *Selector {
 }
 
 // Select elects one server from the estimation vectors. The list is
-// not mutated.
+// not mutated. Select performs no allocations: inactive servers are
+// skipped inline during each scan instead of being filtered into a
+// temporary slice, which matters in the simulator's per-arrival
+// election loop at million-task scale. Scan order over the active
+// vectors is unchanged, so elections are identical to the filtering
+// implementation.
 func (s *Selector) Select(list estvec.List) (*estvec.Vector, error) {
-	if len(list) == 0 {
-		return nil, ErrNoServer
-	}
-	active := make(estvec.List, 0, len(list))
+	anyActive := false
 	for _, v := range list {
 		if v.Bool(estvec.TagActive) {
-			active = append(active, v)
+			anyActive = true
+			break
 		}
 	}
-	if len(active) == 0 {
+	if !anyActive {
 		return nil, ErrNoServer
 	}
 
 	// Learning phase: fewest completed requests first, then policy.
 	if s.Explore {
 		var best *estvec.Vector
-		for _, v := range active {
+		for _, v := range list {
+			if !v.Bool(estvec.TagActive) {
+				continue
+			}
 			if v.Bool(estvec.TagKnown) || v.Value(estvec.TagFreeCores, 0) <= 0 {
 				continue
 			}
@@ -88,41 +94,48 @@ func (s *Selector) Select(list estvec.List) (*estvec.Vector, error) {
 	if qf <= 0 {
 		qf = 1.0
 	}
-	underCap := func(v *estvec.Vector) bool {
-		cores := v.Value(estvec.TagFreeCores, 0) + busyCores(v)
-		return v.Value(estvec.TagQueueLen, 0) < qf*cores
-	}
 
 	if s.RankAll {
 		// Score-style election: free or queued-under-cap servers
 		// compete purely on the policy ordering.
-		if v := s.bestWhere(active, func(v *estvec.Vector) bool {
-			return v.Value(estvec.TagFreeCores, 0) > 0 || underCap(v)
+		if v := s.bestWhere(list, func(v *estvec.Vector) bool {
+			return v.Value(estvec.TagFreeCores, 0) > 0 || underCap(v, qf)
 		}); v != nil {
 			return v, nil
 		}
 	} else {
 		// Free capacity, policy order.
-		if v := s.bestWhere(active, func(v *estvec.Vector) bool {
+		if v := s.bestWhere(list, func(v *estvec.Vector) bool {
 			return v.Value(estvec.TagFreeCores, 0) > 0
 		}); v != nil {
 			return v, nil
 		}
 		// Overload spill under the queue cap.
-		if v := s.bestWhere(active, underCap); v != nil {
+		if v := s.bestWhere(list, func(v *estvec.Vector) bool {
+			return underCap(v, qf)
+		}); v != nil {
 			return v, nil
 		}
 	}
 
 	// Everything saturated: minimal estimated wait.
 	less := estvec.ByTagAsc(estvec.TagWaitSec, estvec.ByServerName)
-	best := active[0]
-	for _, v := range active[1:] {
-		if less(v, best) {
+	var best *estvec.Vector
+	for _, v := range list {
+		if !v.Bool(estvec.TagActive) {
+			continue
+		}
+		if best == nil || less(v, best) {
 			best = v
 		}
 	}
 	return best, nil
+}
+
+// underCap reports whether a server's backlog is below qf×cores.
+func underCap(v *estvec.Vector, qf float64) bool {
+	cores := v.Value(estvec.TagFreeCores, 0) + busyCores(v)
+	return v.Value(estvec.TagQueueLen, 0) < qf*cores
 }
 
 func (s *Selector) learnLess(a, b *estvec.Vector) bool {
@@ -142,7 +155,7 @@ func (s *Selector) learnLess(a, b *estvec.Vector) bool {
 func (s *Selector) bestWhere(list estvec.List, ok func(*estvec.Vector) bool) *estvec.Vector {
 	var best *estvec.Vector
 	for _, v := range list {
-		if !ok(v) {
+		if !v.Bool(estvec.TagActive) || !ok(v) {
 			continue
 		}
 		if best == nil || s.Policy.Less(v, best) {

@@ -278,7 +278,7 @@ func (r *adaptiveRunner) tryPowerOff(now float64, sed *sedState) {
 	if sed.candidate || sed.node.State() != power.On {
 		return
 	}
-	if len(sed.running) > 0 || len(sed.queue) > 0 {
+	if len(sed.running) > 0 || sed.qlen() > 0 {
 		return // drain continues; onFinish retries
 	}
 	if err := sed.node.PowerOff(now); err == nil {
@@ -303,7 +303,7 @@ func (r *adaptiveRunner) capacity() int {
 func (r *adaptiveRunner) inFlight() int {
 	total := 0
 	for _, sed := range r.seds {
-		total += len(sed.running) + len(sed.queue)
+		total += len(sed.running) + sed.qlen()
 	}
 	return total
 }
@@ -352,10 +352,12 @@ func (r *adaptiveRunner) startAdaptiveTask(now float64, sed *sedState, p pending
 		r.onAdaptiveFinish(t.Seconds(), sed, rt)
 	})
 	sed.running[p.task.ID] = rt
+	sed.bumpWait()
 }
 
 func (r *adaptiveRunner) onAdaptiveFinish(now float64, sed *sedState, rt *runningTask) {
 	delete(sed.running, rt.task.ID)
+	sed.bumpWait()
 	if err := sed.node.FinishTask(now); err != nil {
 		panic(fmt.Sprintf("sim: %v", err))
 	}

@@ -136,7 +136,7 @@ func (c *runnerControl) Nodes() []NodeView {
 			State:     sed.node.State(),
 			Slots:     sed.slots,
 			Running:   len(sed.running),
-			Queued:    len(sed.queue),
+			Queued:    sed.qlen(),
 			Candidate: sed.candidate,
 			BootSec:   spec.BootSec,
 			BootW:     float64(spec.BootW),
@@ -156,7 +156,7 @@ func (c *runnerControl) Nodes() []NodeView {
 // the earliest running slot would provably breach while an immediate
 // start would still meet.
 func (c *runnerControl) queuedAtRisk(sed *sedState) bool {
-	if len(sed.queue) == 0 || sed.freeSlots() > 0 {
+	if sed.qlen() == 0 || sed.freeSlots() > 0 {
 		return false
 	}
 	// Earliest slot release: the head-of-queue wait under any work-
@@ -170,7 +170,7 @@ func (c *runnerControl) queuedAtRisk(sed *sedState) bool {
 	if wait < 0 {
 		wait = 0
 	}
-	for _, p := range sed.queue {
+	for _, p := range sed.queued() {
 		view := c.r.taskView(p.task)
 		if view.Deadline <= 0 {
 			continue
@@ -229,8 +229,8 @@ func (c *runnerControl) Preempt(name string, taskID int) error {
 	// least that task's execution before it can restart here — that
 	// occupancy must not push the victim past its own deadline.
 	occupied := 0.0
-	if len(sed.queue) > 0 {
-		occupied = sed.node.Spec.TaskSeconds(sed.queue[c.r.nextQueued(sed)].task.Ops)
+	if sed.qlen() > 0 {
+		occupied = sed.node.Spec.TaskSeconds(sed.queued()[c.r.nextQueued(sed)].task.Ops)
 	}
 	if !sla.SafeToDisplace(c.now, occupied, c.r.restartRemainingSec(c.now, sed, rt), c.r.victimTerms(rt.task)) {
 		return fmt.Errorf("sim: Preempt of task %d would breach its own deadline", taskID)
@@ -262,7 +262,7 @@ func (c *runnerControl) PendingSlack() (float64, bool) {
 	// Queued tasks cannot migrate (the SED keeps its problem, §III-A
 	// step 5): their bound is the owning node's own execution time.
 	for _, sed := range c.r.seds {
-		for _, p := range sed.queue {
+		for _, p := range sed.queued() {
 			consider(p.task, sed.node.Spec.TaskSeconds(p.task.Ops))
 		}
 	}
@@ -277,9 +277,9 @@ func (c *runnerControl) PowerOff(name string) error {
 	if sed.node.State() != power.On {
 		return fmt.Errorf("sim: PowerOff of %s in state %v", name, sed.node.State())
 	}
-	if len(sed.running) > 0 || len(sed.queue) > 0 {
+	if len(sed.running) > 0 || sed.qlen() > 0 {
 		return fmt.Errorf("sim: PowerOff of %s with %d running / %d queued tasks",
-			name, len(sed.running), len(sed.queue))
+			name, len(sed.running), sed.qlen())
 	}
 	if c.candidates() <= 1 && sed.candidate {
 		return fmt.Errorf("sim: PowerOff of %s would leave no candidate", name)

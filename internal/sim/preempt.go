@@ -70,7 +70,7 @@ func (r *Runner) urgentWaitEstimate(now float64, sed *sedState, t workload.Task)
 	if r.order != nil {
 		view := r.taskView(t)
 		first := true
-		for _, q := range sed.queue {
+		for _, q := range sed.queued() {
 			if !r.order.Less(view, r.taskView(q.task)) {
 				first = false
 				break
@@ -127,6 +127,7 @@ func (r *Runner) preempt(now float64, sed *sedState, rt *runningTask) {
 	r.eng.Cancel(rt.finish)
 	sed.advanceBusy(now)
 	delete(sed.running, rt.task.ID)
+	sed.bumpWait()
 	duringW := sed.node.Power()
 	if err := sed.node.FinishTask(now); err != nil {
 		panic(fmt.Sprintf("sim: %v", err))
@@ -159,9 +160,10 @@ func (r *Runner) preempt(now float64, sed *sedState, rt *runningTask) {
 	r.res.Preemptions++
 	r.res.PreemptRedoneOps += r.pre.RedoneOps(done)
 	r.eng.After(0, "restart", func(t simtime.Time) { r.onArrival(t.Seconds(), p) })
-	if len(sed.running) == 0 && len(sed.queue) == 0 {
+	if len(sed.running) == 0 && sed.qlen() == 0 {
 		sed.idleAt = now
 	}
+	r.freeRunning(rt)
 }
 
 // doneOps is the work the current segment has completed by now.

@@ -83,6 +83,16 @@ type Config struct {
 	// and resubmitted by the client.
 	Crashes map[string]float64
 
+	// LegacyKernel runs the seed scheduling kernel: one arrival event
+	// per task, sort-based wait estimates, and freshly allocated
+	// estimation vectors per election. The default event-heap kernel
+	// replaces those with an arrival cursor, an incremental min-heap
+	// wait estimate and reusable scratch buffers — byte-identical
+	// Results, verified by the cross-engine equivalence tests. The flag
+	// exists for those tests; it will be removed once the legacy path
+	// has no remaining callers.
+	LegacyKernel bool
+
 	// Modules is the run's extension stack: every cross-cutting
 	// concern (carbon accounting, SLA machinery, preemption,
 	// power-management controllers, budget tracking, thermal
@@ -345,9 +355,27 @@ type sedState struct {
 	est   *power.Estimator
 	meter *power.Wattmeter
 
-	slots   int
+	slots int
+	// queue[qhead:] is the live backlog: FIFO dequeues advance qhead
+	// in O(1) instead of memmoving the whole slice, and the backing
+	// array is recycled once drained — the pending-task arena.
 	queue   []pendingTask
+	qhead   int
 	running map[int]*runningTask // task ID → record
+
+	// legacy selects the seed kernel's sort-based wait estimate (see
+	// Config.LegacyKernel).
+	legacy bool
+
+	// Wait-estimate cache (event-heap kernel): avail is the reusable
+	// slot-availability scratch heap; waitAbs caches the absolute time
+	// a slot first frees for new work, valid while waitVer == mutVer+1
+	// (the +1 keeps the zero value invalid). mutVer advances on every
+	// queue/running mutation (bumpWait).
+	avail   []float64
+	waitAbs float64
+	waitVer uint64
+	mutVer  uint64
 
 	// static holds the benchmark calibration when Config.Static is
 	// set; estimates then never change at runtime.
@@ -441,12 +469,159 @@ func (s *sedState) freeSlots() int {
 	return free
 }
 
+// qlen returns the live backlog length.
+func (s *sedState) qlen() int { return len(s.queue) - s.qhead }
+
+// queued returns the live backlog in queue order.
+func (s *sedState) queued() []pendingTask { return s.queue[s.qhead:] }
+
+// pushQueue appends a task to the backlog.
+func (s *sedState) pushQueue(p pendingTask) {
+	s.queue = append(s.queue, p)
+	s.bumpWait()
+}
+
+// removeQueued removes and returns the backlog entry at index i (an
+// index into queued()). The head case — every FIFO dequeue — advances
+// qhead in O(1); the backing array is reset once drained and compacted
+// when the dead prefix dominates, so a million-task run reuses one
+// arena instead of memmoving the queue on every start.
+func (s *sedState) removeQueued(i int) pendingTask {
+	j := s.qhead + i
+	p := s.queue[j]
+	if i == 0 {
+		s.queue[j] = pendingTask{}
+		s.qhead++
+		switch {
+		case s.qhead == len(s.queue):
+			s.queue = s.queue[:0]
+			s.qhead = 0
+		case s.qhead >= 256 && s.qhead*2 >= len(s.queue):
+			n := copy(s.queue, s.queue[s.qhead:])
+			s.queue = s.queue[:n]
+			s.qhead = 0
+		}
+	} else {
+		copy(s.queue[j:], s.queue[j+1:])
+		s.queue = s.queue[:len(s.queue)-1]
+	}
+	s.bumpWait()
+	return p
+}
+
+// clearQueue empties the backlog (crash path), keeping the arena.
+func (s *sedState) clearQueue() {
+	s.queue = s.queue[:0]
+	s.qhead = 0
+	s.bumpWait()
+}
+
+// bumpWait invalidates the cached wait estimate; every queue or
+// running-set mutation (including finish-event cancellations) must
+// pass through here.
+func (s *sedState) bumpWait() { s.mutVer++ }
+
 // waitEstimate computes ws: the time a newly queued task would wait
 // before starting, from the SED's exact knowledge of its running and
 // queued work (§III-C assumes task durations are known to the
 // scheduler).
+//
+// The event-heap kernel drains the backlog over a min-heap of
+// slot-availability times — one sift-down per queued task instead of
+// the seed kernel's full re-sort — and, when every slot is occupied,
+// caches the resulting absolute first-free time until the next
+// queue/running mutation: between mutations the wait seen at a later
+// probe is exactly cachedFirstFree − now. Both shortcuts evolve the
+// same multiset of availability times as the seed's sort loop, so the
+// returned floats are bit-identical (see the equivalence tests).
 func (s *sedState) waitEstimate(now float64) float64 {
-	if s.freeSlots() > 0 && len(s.queue) == 0 {
+	if s.legacy {
+		return s.legacyWaitEstimate(now)
+	}
+	if s.qlen() == 0 && (s.freeSlots() > 0 || len(s.running) == 0) {
+		// Free capacity — or nothing running and nothing queued, where
+		// the padded availability times are all "now" either way.
+		return 0
+	}
+	if len(s.running) >= s.slots {
+		// Every slot occupied: availability times are absolute finish
+		// times, independent of now, so the drained first-free time is
+		// cacheable until the next mutation.
+		if s.waitVer != s.mutVer+1 {
+			s.waitAbs = s.firstFree(now, false)
+			s.waitVer = s.mutVer + 1
+		}
+		if w := s.waitAbs - now; w > 0 {
+			return w
+		}
+		return 0
+	}
+	// Free slots padded with "now" (a backlog on a booting/off node):
+	// time-dependent, computed fresh per probe.
+	if w := s.firstFree(now, true) - now; w > 0 {
+		return w
+	}
+	return 0
+}
+
+// firstFree simulates draining the backlog over the slot-availability
+// min-heap and returns the absolute time a slot first frees for a new
+// task. pad fills unoccupied slots with now (the seed kernel's
+// padding).
+func (s *sedState) firstFree(now float64, pad bool) float64 {
+	avail := s.avail[:0]
+	for _, rt := range s.running {
+		avail = append(avail, rt.finish.At.Seconds())
+	}
+	if pad {
+		for len(avail) < s.slots {
+			avail = append(avail, now)
+		}
+	}
+	s.avail = avail
+	floatHeapInit(avail)
+	for _, p := range s.queued() {
+		// start := avail[0]; the queued task occupies the earliest
+		// slot, which then frees at start + exec.
+		avail[0] += s.node.Spec.TaskSeconds(p.task.Ops)
+		floatHeapFix(avail)
+	}
+	return avail[0]
+}
+
+// floatHeapInit establishes the min-heap property.
+func floatHeapInit(h []float64) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		floatHeapSift(h, i)
+	}
+}
+
+// floatHeapFix restores the heap after the root changed.
+func floatHeapFix(h []float64) { floatHeapSift(h, 0) }
+
+func floatHeapSift(h []float64, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && h[l] < h[m] {
+			m = l
+		}
+		if r < len(h) && h[r] < h[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// legacyWaitEstimate is the seed kernel's sort-per-queued-task wait
+// estimate, retained behind Config.LegacyKernel as the equivalence
+// reference.
+func (s *sedState) legacyWaitEstimate(now float64) float64 {
+	if s.freeSlots() > 0 && s.qlen() == 0 {
 		return 0
 	}
 	// Slot-availability times: running tasks' finish times, padded
@@ -460,7 +635,7 @@ func (s *sedState) waitEstimate(now float64) float64 {
 	}
 	sort.Float64s(avail)
 	// Drain the queue ahead of the hypothetical new task.
-	for _, p := range s.queue {
+	for _, p := range s.queued() {
 		start := avail[0]
 		exec := s.node.Spec.TaskSeconds(p.task.Ops)
 		avail[0] = start + exec
@@ -486,10 +661,20 @@ func (s *sedState) vector(now float64, rng *rand.Rand) *estvec.Vector {
 // even while a controller has revoked its candidacy to defer
 // deferrable work. Powered-off nodes stay unusable either way.
 func (s *sedState) vectorFor(now float64, rng *rand.Rand, bypassCandidacy bool) *estvec.Vector {
-	v := estvec.New(s.node.Spec.Name).
+	v := estvec.New(s.node.Spec.Name)
+	s.fillVector(v, now, rng, bypassCandidacy)
+	return v
+}
+
+// fillVector populates v in place — the zero-alloc spelling of
+// vectorFor the event-heap kernel uses with per-SED scratch vectors.
+// Both kernels run the identical Set sequence (including the
+// TagRandom draw), so elections are bit-for-bit the same.
+func (s *sedState) fillVector(v *estvec.Vector, now float64, rng *rand.Rand, bypassCandidacy bool) {
+	v.Reset(s.node.Spec.Name).
 		Set(estvec.TagFreeCores, float64(s.freeSlots())).
 		Set(sched.TagCores(), float64(s.slots)).
-		Set(estvec.TagQueueLen, float64(len(s.queue))).
+		Set(estvec.TagQueueLen, float64(s.qlen())).
 		Set(estvec.TagWaitSec, s.waitEstimate(now)).
 		Set(estvec.TagBootSec, s.node.Spec.BootSec).
 		Set(estvec.TagBootPowerW, s.node.Spec.BootW).
@@ -507,7 +692,7 @@ func (s *sedState) vectorFor(now float64, rng *rand.Rand, bypassCandidacy bool) 
 			Set(estvec.TagFlops, s.static.Flops).
 			Set(estvec.TagPowerW, s.static.MeanWatts).
 			Set(estvec.TagGreenPerf, s.static.GreenPerf())
-		return v
+		return
 	}
 
 	v.SetBool(estvec.TagKnown, s.est.Known()).
@@ -521,7 +706,6 @@ func (s *sedState) vectorFor(now float64, rng *rand.Rand, bypassCandidacy bool) 
 	if gp, ok := s.est.GreenPerf(); ok {
 		v.Set(estvec.TagGreenPerf, gp)
 	}
-	return v
 }
 
 // Runner executes one configured simulation.
@@ -558,6 +742,17 @@ type Runner struct {
 	terms   map[int]sla.Terms
 	ledger  *sla.Ledger
 	order   sched.TaskOrder
+
+	// Event-heap kernel scratch (nil under Config.LegacyKernel): one
+	// reusable estimation vector per SED plus the candidate list and
+	// per-task selector, so the election inner loop allocates nothing;
+	// arrivals holds the tasks in stable (Submit, config-order) order
+	// for the arrival cursor; rtFree recycles runningTask records.
+	vecs       []estvec.Vector
+	list       estvec.List
+	selScratch sched.Selector
+	arrivals   []workload.Task
+	rtFree     []*runningTask
 }
 
 // resolved counts tasks whose fate is settled (completed or rejected).
@@ -579,7 +774,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		waiting: make(map[int]workload.Task),
 		res: &Result{
-			Policy:           cfg.Policy.Name(),
+			Policy: cfg.Policy.Name(),
+			// Task-record arena: one completion per task in the common
+			// case, so the append in onFinish never reallocates.
+			Records:          make([]TaskRecord, 0, len(cfg.Tasks)),
 			PerNodeTasks:     make(map[string]int),
 			PerNodeEnergyJ:   make(map[string]power.Joules),
 			PerClusterTasks:  make(map[string]int),
@@ -605,12 +803,17 @@ func NewRunner(cfg Config) (*Runner, error) {
 			slots:     slots,
 			running:   make(map[int]*runningTask),
 			candidate: true,
+			legacy:    cfg.LegacyKernel,
 		}
 		if cfg.Static {
 			cal := cluster.BenchmarkNode(spec, 1e9, 0, nil)
 			sed.static = &cal
 		}
 		r.seds = append(r.seds, sed)
+	}
+	if !cfg.LegacyKernel {
+		r.vecs = make([]estvec.Vector, len(r.seds))
+		r.list = make(estvec.List, 0, len(r.seds))
 	}
 	// The module stack attaches last, over fully built platform state:
 	// legacy one-slot hooks first (as adapters), then Config.Modules.
@@ -656,11 +859,29 @@ func Run(cfg Config) (*Result, error) {
 
 // Run drives the event loop until all tasks complete.
 func (r *Runner) Run() (*Result, error) {
-	for _, task := range r.cfg.Tasks {
-		task := task
-		r.eng.At(simtime.Time(task.Submit), "arrival", func(now simtime.Time) {
-			r.onArrival(now.Seconds(), pendingTask{task: task})
+	if r.cfg.LegacyKernel {
+		// Seed kernel: one event per task. Setup-time scheduling gives
+		// arrivals the lowest sequence numbers, so at any instant they
+		// fire before every same-time runtime event.
+		for _, task := range r.cfg.Tasks {
+			task := task
+			r.eng.At(simtime.Time(task.Submit), "arrival", func(now simtime.Time) {
+				r.onArrival(now.Seconds(), pendingTask{task: task})
+			})
+		}
+	} else {
+		// Event-heap kernel: a single self-advancing cursor walks the
+		// tasks in stable (Submit, config-order) order, draining every
+		// arrival that shares an instant in one event. Front-class
+		// scheduling (simtime.AtFront) preserves the seed ordering:
+		// arrivals before crashes, retries, restarts and finishes at
+		// the same virtual time.
+		r.arrivals = make([]workload.Task, len(r.cfg.Tasks))
+		copy(r.arrivals, r.cfg.Tasks)
+		sort.SliceStable(r.arrivals, func(i, j int) bool {
+			return r.arrivals[i].Submit < r.arrivals[j].Submit
 		})
+		r.scheduleArrivals(0)
 	}
 	for name, at := range r.cfg.Crashes {
 		idx := r.cfg.Platform.Find(name)
@@ -689,6 +910,25 @@ func (r *Runner) Run() (*Result, error) {
 	}
 	r.finalize()
 	return r.res, nil
+}
+
+// scheduleArrivals arms the arrival cursor at r.arrivals[i]'s submit
+// time. Each firing submits every task sharing that instant — in the
+// same order the seed kernel's per-task events would have fired — then
+// re-arms for the next distinct submit time.
+func (r *Runner) scheduleArrivals(i int) {
+	if i >= len(r.arrivals) {
+		return
+	}
+	r.eng.AtFront(simtime.Time(r.arrivals[i].Submit), "arrival", func(t simtime.Time) {
+		now := t.Seconds()
+		j := i
+		for j < len(r.arrivals) && r.arrivals[j].Submit == r.arrivals[i].Submit {
+			r.onArrival(now, pendingTask{task: r.arrivals[j]})
+			j++
+		}
+		r.scheduleArrivals(j)
+	})
 }
 
 func (r *Runner) onArrival(now float64, p pendingTask) {
@@ -727,9 +967,24 @@ func (r *Runner) onArrival(now float64, p pendingTask) {
 	// SLA express lane: deadline-carrying tasks may bypass candidacy
 	// windows (controllers defer only deferrable work through them).
 	bypass := r.sla != nil && r.sla.UrgentBypass && r.taskView(p.task).Deadline > 0
-	list := make(estvec.List, 0, len(r.seds))
-	for _, sed := range r.seds {
-		list = append(list, sed.vectorFor(now, r.rng, bypass))
+	var list estvec.List
+	if r.cfg.LegacyKernel {
+		list = make(estvec.List, 0, len(r.seds))
+		for _, sed := range r.seds {
+			list = append(list, sed.vectorFor(now, r.rng, bypass))
+		}
+	} else {
+		// Zero-alloc election inner loop: refill the per-SED scratch
+		// vectors in place. Nothing downstream retains the vectors
+		// past this arrival (Select reads; the chosen server's name is
+		// copied out), so reuse is safe.
+		list = r.list[:0]
+		for i, sed := range r.seds {
+			v := &r.vecs[i]
+			sed.fillVector(v, now, r.rng, bypass)
+			list = append(list, v)
+		}
+		r.list = list
 	}
 	// Election policy: each module may wrap (or replace) the policy the
 	// previous one produced, starting from the run's base policy.
@@ -739,9 +994,9 @@ func (r *Runner) onArrival(now float64, p pendingTask) {
 		for _, m := range r.mods {
 			pol = m.WrapPolicy(now, p.task, pol)
 		}
-		perTask := *r.sel
-		perTask.Policy = pol
-		sel = &perTask
+		r.selScratch = *r.sel
+		r.selScratch.Policy = pol
+		sel = &r.selScratch
 	}
 	chosen, err := sel.Select(list)
 	if err != nil {
@@ -776,7 +1031,7 @@ func (r *Runner) onArrival(now float64, p pendingTask) {
 		// A victim was checkpointed and the urgent task started in its
 		// slot.
 	default:
-		sed.queue = append(sed.queue, p)
+		sed.pushQueue(p)
 	}
 }
 
@@ -817,7 +1072,8 @@ func (r *Runner) startTask(now float64, sed *sedState, p pendingTask) {
 		exec *= 1 + (r.rng.Float64()*2-1)*j
 	}
 	sed.advanceBusy(now)
-	rt := &runningTask{
+	rt := r.newRunning()
+	*rt = runningTask{
 		task: p.task, start: now, resubmits: p.resubmits, busyMark: sed.busyIntegral,
 		plannedExec: exec, preemptions: p.preemptions, carriedJ: p.carriedJ, carriedG: p.carriedG,
 	}
@@ -825,12 +1081,36 @@ func (r *Runner) startTask(now float64, sed *sedState, p pendingTask) {
 		r.onFinish(t.Seconds(), sed, rt)
 	})
 	sed.running[p.task.ID] = rt
+	sed.bumpWait()
 	r.emit(obs.Event{T: now, Event: obs.EventSolve, ID: uint64(p.task.ID), Class: p.task.Class, Server: sed.node.Spec.Name})
+}
+
+// newRunning takes a runningTask from the free list (event-heap
+// kernel) or allocates one.
+func (r *Runner) newRunning() *runningTask {
+	if n := len(r.rtFree); n > 0 {
+		rt := r.rtFree[n-1]
+		r.rtFree = r.rtFree[:n-1]
+		return rt
+	}
+	return &runningTask{}
+}
+
+// freeRunning recycles a runningTask whose record can no longer be
+// referenced: its finish event has fired or been cancelled and its
+// fields copied out.
+func (r *Runner) freeRunning(rt *runningTask) {
+	if r.cfg.LegacyKernel {
+		return
+	}
+	*rt = runningTask{}
+	r.rtFree = append(r.rtFree, rt)
 }
 
 func (r *Runner) onFinish(now float64, sed *sedState, rt *runningTask) {
 	sed.advanceBusy(now)
 	delete(sed.running, rt.task.ID)
+	sed.bumpWait()
 	duringW := sed.node.Power() // draw while the task was still running
 	if err := sed.node.FinishTask(now); err != nil {
 		panic(fmt.Sprintf("sim: %v", err))
@@ -899,28 +1179,28 @@ func (r *Runner) onFinish(now float64, sed *sedState, rt *runningTask) {
 		r.lastFinish = now
 	}
 	r.drainQueue(now, sed)
-	if len(sed.running) == 0 && len(sed.queue) == 0 {
+	if len(sed.running) == 0 && sed.qlen() == 0 {
 		sed.idleAt = now
 	}
+	r.freeRunning(rt)
 }
 
 func (r *Runner) drainQueue(now float64, sed *sedState) {
-	for len(sed.queue) > 0 && sed.freeSlots() > 0 {
-		next := r.nextQueued(sed)
-		p := sed.queue[next]
-		sed.queue = append(sed.queue[:next], sed.queue[next+1:]...)
+	for sed.qlen() > 0 && sed.freeSlots() > 0 {
+		p := sed.removeQueued(r.nextQueued(sed))
 		r.startTask(now, sed, p)
 	}
 }
 
-// nextQueued returns the index of the task a freed slot on sed serves
-// next: the best per the SLA queue discipline (EDF, VALUE-DENSITY),
-// or the head under FIFO.
+// nextQueued returns the index (into queued()) of the task a freed
+// slot on sed serves next: the best per the SLA queue discipline (EDF,
+// VALUE-DENSITY), or the head under FIFO.
 func (r *Runner) nextQueued(sed *sedState) int {
 	next := 0
 	if r.order != nil {
-		for i := 1; i < len(sed.queue); i++ {
-			if r.order.Less(r.taskView(sed.queue[i].task), r.taskView(sed.queue[next].task)) {
+		q := sed.queued()
+		for i := 1; i < len(q); i++ {
+			if r.order.Less(r.taskView(q[i].task), r.taskView(q[next].task)) {
 				next = i
 			}
 		}
@@ -953,7 +1233,9 @@ func (r *Runner) onCrash(now float64, sed *sedState) {
 			preemptions: rt.preemptions, carriedJ: rt.carriedJ, carriedG: rt.carriedG,
 		})
 		delete(sed.running, id)
+		r.freeRunning(rt)
 	}
+	sed.bumpWait()
 	// Lost executions fail on the trace in ID order — the map walk
 	// above must not leak its iteration order into the event stream.
 	if len(r.lobs) > 0 {
@@ -964,11 +1246,11 @@ func (r *Runner) onCrash(now float64, sed *sedState) {
 		}
 	}
 	r.res.Crashed += len(lost)
-	for _, p := range sed.queue {
+	for _, p := range sed.queued() {
 		p.admitted = true // already screened; never re-screen at crash time
 		lost = append(lost, p)
 	}
-	sed.queue = nil
+	sed.clearQueue()
 	sed.node.Crash(now)
 	sed.candidate = false
 	sed.failed = true

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"greensched/internal/cluster"
+	"greensched/internal/power"
+	"greensched/internal/simtime"
+	"greensched/internal/workload"
+)
+
+// This file pins the wait-estimate refactor: the event-heap kernel's
+// min-heap + cached-first-free estimate must return bit-identical
+// floats to the seed kernel's sort-per-queued-task loop on arbitrary
+// SED states, and the hot path must not allocate — the seed version
+// cost O(q·s·log s) comparisons and one fresh slice per probe, which
+// dominated the 10k-task benchmark.
+
+// waitSED builds a SED with nrun running tasks (finish times drawn
+// from rng) and nq queued tasks, at virtual time now.
+func waitSED(t *testing.T, eng *simtime.Engine, rng *rand.Rand, slots, nrun, nq int, now float64) *sedState {
+	t.Helper()
+	spec := smallPlatform().Nodes[0]
+	sed := &sedState{
+		node:    cluster.NewNode(spec, 0, power.NewWattmeter(0, 1)),
+		est:     power.NewEstimator(8),
+		slots:   slots,
+		running: make(map[int]*runningTask),
+	}
+	for i := 0; i < nrun; i++ {
+		if err := sed.node.StartTask(now); err != nil {
+			t.Fatal(err)
+		}
+		rt := &runningTask{start: now}
+		rt.finish = eng.At(simtime.Time(now+1+rng.Float64()*500), "finish", func(simtime.Time) {})
+		sed.running[i] = rt
+		sed.bumpWait()
+	}
+	for i := 0; i < nq; i++ {
+		sed.pushQueue(pendingTask{task: workload.Task{ID: 1000 + i, Ops: (1 + rng.Float64()*9) * 1e11}})
+	}
+	return sed
+}
+
+// TestWaitEstimateMatchesLegacy: the heap/cached estimate equals the
+// seed sort-based estimate bit-for-bit across randomized states,
+// repeated probes (cache hits) and interleaved mutations.
+func TestWaitEstimateMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		eng := simtime.NewEngine()
+		now := rng.Float64() * 100
+		slots := 1 + rng.Intn(8)
+		// nrun < slots with a backlog exercises the now-padded branch
+		// (a booting/off node's leftover queue); nrun == slots the
+		// cached branch.
+		nrun := rng.Intn(slots + 1)
+		nq := rng.Intn(12)
+		sed := waitSED(t, eng, rng, slots, nrun, nq, now)
+		for probe := 0; probe < 3; probe++ {
+			got := sed.waitEstimate(now)
+			want := sed.legacyWaitEstimate(now)
+			if got != want {
+				t.Fatalf("trial %d probe %d: waitEstimate %v != legacy %v (slots=%d run=%d q=%d)",
+					trial, probe, got, want, slots, nrun, nq)
+			}
+			now += rng.Float64() * 10 // later probe, same state: cache path
+		}
+		// Mutate the queue and probe again: the version bump must
+		// invalidate the cache.
+		sed.pushQueue(pendingTask{task: workload.Task{ID: 9999, Ops: 3e11}})
+		if got, want := sed.waitEstimate(now), sed.legacyWaitEstimate(now); got != want {
+			t.Fatalf("trial %d after push: %v != %v", trial, got, want)
+		}
+	}
+}
+
+// TestWaitEstimateZeroAlloc: repeated probes — including cache misses
+// after mutations — allocate nothing once the scratch heap has grown.
+func TestWaitEstimateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	eng := simtime.NewEngine()
+	sed := waitSED(t, eng, rng, 4, 4, 10, 0)
+	sed.waitEstimate(0) // warm the scratch buffer
+	now := 0.0
+	allocs := testing.AllocsPerRun(100, func() {
+		now += 0.25
+		sed.waitEstimate(now) // cache hit
+		sed.bumpWait()
+		sed.waitEstimate(now) // full heap recompute
+	})
+	if allocs != 0 {
+		t.Fatalf("waitEstimate allocated %.1f times per probe pair, want 0", allocs)
+	}
+}

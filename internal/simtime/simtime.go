@@ -51,11 +51,14 @@ type Clock interface {
 // Event is a scheduled callback. Events with equal times fire in the
 // order they were scheduled (FIFO), which keeps simulations
 // deterministic without relying on map iteration or heap tie-breaks.
+// Front events (AtFront) form a separate class that fires before all
+// normal events sharing the same time, regardless of scheduling order.
 type Event struct {
 	At   Time
 	Name string // for tracing/tests; optional
 	Fn   func(now Time)
 
+	class uint8 // 0 = front, 1 = normal
 	seq   uint64
 	index int // heap index; -1 once popped or cancelled
 }
@@ -69,6 +72,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].At != h[j].At {
 		return h[i].At < h[j].At
+	}
+	if h[i].class != h[j].class {
+		return h[i].class < h[j].class
 	}
 	return h[i].seq < h[j].seq
 }
@@ -120,7 +126,24 @@ func (e *Engine) At(t Time, name string, fn func(now Time)) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("simtime: scheduling %q at %v before now %v", name, t, e.now))
 	}
-	ev := &Event{At: t, Name: name, Fn: fn, seq: e.nextSeq}
+	ev := &Event{At: t, Name: name, Fn: fn, class: 1, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// AtFront schedules fn at absolute time t in the front class: among
+// events sharing the same virtual time it fires before every normal
+// event, no matter when either was scheduled. The event-heap sim
+// kernel uses this for its arrival cursor, which must observe the same
+// ordering as the seed kernel's setup-time arrival events (arrivals
+// before crashes, retries and finishes at the same instant). Front
+// events scheduled for the same time keep FIFO order among themselves.
+func (e *Engine) AtFront(t Time, name string, fn func(now Time)) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("simtime: scheduling %q at %v before now %v", name, t, e.now))
+	}
+	ev := &Event{At: t, Name: name, Fn: fn, class: 0, seq: e.nextSeq}
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
 	return ev

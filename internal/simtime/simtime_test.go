@@ -259,3 +259,39 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 		e.Run(0)
 	}
 }
+
+func TestAtFrontFiresBeforeNormalEventsAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	// Normal events scheduled first (lower seq) would normally win the
+	// tie; the front event must still fire ahead of them.
+	e.At(5, "normal-early", func(Time) { order = append(order, "normal-early") })
+	e.At(5, "normal-late", func(Time) { order = append(order, "normal-late") })
+	e.AtFront(5, "front-b", func(Time) { order = append(order, "front-b") })
+	e.AtFront(5, "front-a", func(Time) { order = append(order, "front-a") })
+	e.At(3, "before", func(Time) { order = append(order, "before") })
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"before", "front-b", "front-a", "normal-early", "normal-late"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAtFrontPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, "x", func(Time) {})
+	e.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling a front event in the past")
+		}
+	}()
+	e.AtFront(5, "late", func(Time) {})
+}
