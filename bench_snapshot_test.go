@@ -13,7 +13,7 @@
 //
 // TestBenchSnapshot (gated behind BENCH_SNAPSHOT=1 so regular `go
 // test` stays fast) runs them via testing.Benchmark and writes
-// BENCH_8.json: ns/op and allocs/op for the sim paths and req/s for
+// BENCH_9.json: ns/op and allocs/op for the sim paths and req/s for
 // the live paths. Re-run with
 //
 //	BENCH_SNAPSHOT=1 go test -run TestBenchSnapshot -count=1 .
@@ -29,11 +29,13 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
 
 	"greensched/internal/cluster"
+	"greensched/internal/journal"
 	"greensched/internal/middleware"
 	"greensched/internal/obs"
 	"greensched/internal/sched"
@@ -291,6 +293,50 @@ func benchSED(b *testing.B, name string, watts float64) *middleware.SED {
 	return sed
 }
 
+// BenchmarkLiveMasterJournaled is BenchmarkLiveMasterThroughput with a
+// crash-safe dispatch journal mounted: every request appends an
+// admission, a lease and a settle record to the WAL, each fsynced
+// before the lifecycle proceeds. The gap to the unjournaled number is
+// the all-in price of durable dispatch — dominated by fsync latency,
+// as it should be.
+func BenchmarkLiveMasterJournaled(b *testing.B) {
+	jrn, err := journal.Open(filepath.Join(b.TempDir(), "bench.wal"), journal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer jrn.Close()
+	master, err := middleware.NewMaster(
+		middleware.WithPolicy(sched.New(sched.GreenPerf)),
+		middleware.WithSEDs(benchSED(b, "lean", 60), benchSED(b, "hungry", 400)),
+		middleware.WithInterceptors(&middleware.ObsInterceptor{Registry: obs.NewRegistry()}),
+		middleware.WithJournal(jrn),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := master.Do(ctx, middleware.Request{Service: "compute", Ops: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := master.Do(ctx, middleware.Request{Service: "compute", Ops: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	if res := master.Finalize(); res.Completed != b.N+8 {
+		b.Fatalf("ledger counted %d of %d requests", res.Completed, b.N+8)
+	}
+	if st := jrn.Stats(); st.Pending != 0 {
+		b.Fatalf("journal left %d pending lifecycles", st.Pending)
+	}
+}
+
 // BenchmarkLiveMasterConcurrent is the parallel-client counterpart of
 // BenchmarkLiveMasterThroughput: GOMAXPROCS goroutines hammer one
 // master's Do concurrently. With the agent snapshot, CAS energy
@@ -392,7 +438,7 @@ func BenchmarkLiveMasterConcurrentTCP(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
-// benchSnapshotEntry mirrors one benchmark record in BENCH_8.json.
+// benchSnapshotEntry mirrors one benchmark record in BENCH_9.json.
 type benchSnapshotEntry struct {
 	NsPerOp     int64              `json:"ns_per_op"`
 	AllocsPerOp int64              `json:"allocs_per_op"`
@@ -400,7 +446,7 @@ type benchSnapshotEntry struct {
 	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
-// benchSnapshot mirrors the committed BENCH_8.json layout.
+// benchSnapshot mirrors the committed BENCH_9.json layout.
 type benchSnapshot struct {
 	Go      string                        `json:"go"`
 	Benches map[string]benchSnapshotEntry `json:"benches"`
@@ -408,7 +454,7 @@ type benchSnapshot struct {
 
 // TestBenchDelta is the CI bench-delta gate (BENCH_DELTA=1): it runs
 // BenchmarkSimHotPath live and fails when ns/op or allocs/op regress
-// more than 25% against the committed BENCH_8.json. allocs/op is
+// more than 25% against the committed BENCH_9.json. allocs/op is
 // deterministic, so that bound catches real regressions exactly;
 // ns/op is noisier on shared runners, which is why the tolerance is a
 // wide 25% rather than a tight SLO — the gate exists to catch
@@ -417,17 +463,17 @@ func TestBenchDelta(t *testing.T) {
 	if os.Getenv("BENCH_DELTA") == "" {
 		t.Skip("set BENCH_DELTA=1 to run the bench-delta gate")
 	}
-	data, err := os.ReadFile("BENCH_8.json")
+	data, err := os.ReadFile("BENCH_9.json")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var snap benchSnapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
-		t.Fatalf("parse BENCH_8.json: %v", err)
+		t.Fatalf("parse BENCH_9.json: %v", err)
 	}
 	base, ok := snap.Benches["BenchmarkSimHotPath"]
 	if !ok {
-		t.Fatal("BENCH_8.json has no BenchmarkSimHotPath entry")
+		t.Fatal("BENCH_9.json has no BenchmarkSimHotPath entry")
 	}
 	const tolerance = 1.25
 	r := testing.Benchmark(BenchmarkSimHotPath)
@@ -441,11 +487,11 @@ func TestBenchDelta(t *testing.T) {
 	}
 }
 
-// TestBenchSnapshot writes BENCH_8.json — the perf snapshot CI and
+// TestBenchSnapshot writes BENCH_9.json — the perf snapshot CI and
 // future PRs diff against. Gated so the tier-1 test run stays cheap.
 func TestBenchSnapshot(t *testing.T) {
 	if os.Getenv("BENCH_SNAPSHOT") == "" {
-		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_8.json")
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_9.json")
 	}
 	snap := benchSnapshot{Go: runtime.Version(), Benches: map[string]benchSnapshotEntry{}}
 
@@ -455,6 +501,7 @@ func TestBenchSnapshot(t *testing.T) {
 		"BenchmarkSimScale100k":              BenchmarkSimScale100k,
 		"BenchmarkLiveMasterThroughput":      BenchmarkLiveMasterThroughput,
 		"BenchmarkLiveMasterSpansThroughput": BenchmarkLiveMasterSpansThroughput,
+		"BenchmarkLiveMasterJournaled":       BenchmarkLiveMasterJournaled,
 		"BenchmarkLiveMasterConcurrent":      BenchmarkLiveMasterConcurrent,
 		"BenchmarkLiveMasterConcurrentTCP":   BenchmarkLiveMasterConcurrentTCP,
 	} {
@@ -472,8 +519,8 @@ func TestBenchSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_8.json", append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile("BENCH_9.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote BENCH_8.json:\n%s", data)
+	t.Logf("wrote BENCH_9.json:\n%s", data)
 }

@@ -9,6 +9,8 @@
 //	greensched preempt   [-seed N]             express-boot vs checkpoint/restart preemption study
 //	greensched scenario  [-seed N]             composed module stack: carbon + SLA + preemption + budget in one run
 //	greensched live                            composed LIVE middleware interceptor demo (in-process + TCP)
+//	greensched durable [DIR]                   kill/restart drill: journaled master, lease redo, exact books
+//	greensched journal FILE                    inspect a dispatch journal: counts, incomplete set, torn tail
 //	greensched spans FILE [-check]             per-stage latency + critical path of a span JSONL stream
 //	greensched all       [-seed N]             every study above (replicate, replay and live excluded)
 //
@@ -25,6 +27,7 @@ import (
 
 	"greensched/internal/cluster"
 	"greensched/internal/experiments"
+	"greensched/internal/journal"
 	"greensched/internal/obs"
 	"greensched/internal/sched"
 	"greensched/internal/sim"
@@ -68,6 +71,7 @@ func run(args []string, out io.Writer) error {
 	check := fs.Bool("check", false, "spans: exit non-zero when any trace fails to parse or misses a canonical stage")
 	tasks := fs.Int("tasks", 0, "scenario/live: rescale the task mix to roughly this many tasks total (0 = calibrated default)")
 	concurrency := fs.Int("concurrency", 0, "live: bound each master's in-flight admissions (0 = unbounded)")
+	journalFile := fs.String("journal", "", "live: append each master's crash-safe dispatch journal under this path prefix")
 	if err := fs.Parse(args[1:]); err != nil {
 		return errUsage
 	}
@@ -94,7 +98,18 @@ func run(args []string, out io.Writer) error {
 	case "scenario":
 		return runScenario(out, *seed, *traceFile, *tasks)
 	case "live":
-		return runLive(out, *metricsAddr, *traceFile, *spansFile, *holdSec, *tasks, *concurrency)
+		return runLive(out, *metricsAddr, *traceFile, *spansFile, *journalFile, *holdSec, *tasks, *concurrency)
+	case "durable":
+		dir := ""
+		if fs.NArg() > 0 {
+			dir = fs.Arg(0)
+		}
+		return runDurable(out, dir)
+	case "journal":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("journal needs exactly one dispatch-journal file argument (produced by 'live -journal F' or 'durable')")
+		}
+		return runJournal(out, fs.Arg(0))
 	case "spans":
 		if fs.NArg() != 1 {
 			return fmt.Errorf("spans needs exactly one JSONL file argument (produced by 'live -spans F' or examples/tracing)")
@@ -219,10 +234,13 @@ func runSpans(out io.Writer, path string, check bool) error {
 // (proportionally, each class keeps at least one request) and
 // -concurrency bounds each master's in-flight admissions — together
 // they turn the demo into a load generator for the concurrent master.
-func runLive(out io.Writer, metricsAddr, traceFile, spansFile string, holdSec float64, tasks, concurrency int) error {
+// -journal mounts a crash-safe dispatch journal under each master and
+// leaves the .wal files behind for `greensched journal`.
+func runLive(out io.Writer, metricsAddr, traceFile, spansFile, journalFile string, holdSec float64, tasks, concurrency int) error {
 	cfg := experiments.DefaultLiveComposedConfig()
 	cfg.ScaleTasks(tasks)
 	cfg.Concurrency = concurrency
+	cfg.JournalPath = journalFile
 	var srv *obs.Server
 	if metricsAddr != "" {
 		cfg.Registry = obs.NewRegistry()
@@ -263,9 +281,95 @@ func runLive(out io.Writer, metricsAddr, traceFile, spansFile string, holdSec fl
 	if spansFile != "" {
 		fmt.Fprintf(out, "\nrequest span trees written to %s (analyze with 'greensched spans %s')\n", spansFile, spansFile)
 	}
+	if journalFile != "" {
+		fmt.Fprintf(out, "\ndispatch journals written to %s.{in-process,tcp}.wal (inspect with 'greensched journal FILE')\n", journalFile)
+	}
 	if srv != nil && holdSec > 0 {
 		fmt.Fprintf(out, "\nholding the metrics endpoint for %.0fs (http://%s/metrics)\n", holdSec, srv.Addr())
 		time.Sleep(time.Duration(holdSec * float64(time.Second)))
+	}
+	return nil
+}
+
+// runDurable runs the kill/restart drill: a journaled master dies
+// mid-run with a lease outstanding and a request parked in a carbon
+// window, a fresh incarnation replays the journal, and the report
+// compares its books against an uninterrupted control run. With a DIR
+// argument the .wal files are kept there for `greensched journal`;
+// otherwise they go to a temp dir that is removed afterwards.
+func runDurable(out io.Writer, dir string) error {
+	keep := dir != ""
+	if !keep {
+		tmp, err := os.MkdirTemp("", "greensched-durable-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cfg := experiments.DefaultDurableConfig()
+	cfg.Dir = dir
+	res, err := experiments.RunDurableStudy(cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.Render(out); err != nil {
+		return err
+	}
+	if keep {
+		fmt.Fprintf(out, "\ndispatch journals kept under %s (inspect with 'greensched journal FILE')\n", dir)
+	}
+	return nil
+}
+
+// runJournal inspects a dispatch journal file read-only: record counts
+// by lifecycle state, the incomplete set a restarting master would
+// re-drive, and a torn-tail report. It never mutates the file — a torn
+// tail is reported, not truncated (opening the journal for writing is
+// what repairs it).
+func runJournal(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec, err := journal.Recover(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: %d records over %d lifecycles (%d bytes)\n",
+		path, rec.Records, len(rec.Entries), rec.GoodBytes)
+	for _, st := range []journal.State{
+		journal.StateAdmitted, journal.StateDeferred, journal.StateLeased,
+		journal.StateCompleted, journal.StateFailed, journal.StateRejected,
+	} {
+		if n := rec.Counts[st]; n > 0 {
+			fmt.Fprintf(out, "  %-9s %6d records\n", st, n)
+		}
+	}
+	if rec.Orphans > 0 {
+		fmt.Fprintf(out, "  orphans   %6d (records whose admission is not in this log)\n", rec.Orphans)
+	}
+
+	inc := rec.Incomplete()
+	fmt.Fprintf(out, "incomplete: %d of %d lifecycles\n", len(inc), len(rec.Entries))
+	for _, e := range inc {
+		switch e.State {
+		case journal.StateLeased:
+			fmt.Fprintf(out, "  #%-6d %-9s %-12s leased to %s until t=%.3f\n",
+				e.Admit.ID, e.State, e.Admit.Service, e.SED, e.Expiry)
+		default:
+			fmt.Fprintf(out, "  #%-6d %-9s %-12s\n", e.Admit.ID, e.State, e.Admit.Service)
+		}
+	}
+
+	if rec.Truncated {
+		fmt.Fprintf(out, "torn tail: %s — good prefix ends at byte %d; a writer reopening this journal truncates there and continues\n",
+			rec.Reason, rec.GoodBytes)
+	} else {
+		fmt.Fprintln(out, "clean tail: the log ends on a frame boundary")
 	}
 	return nil
 }
@@ -439,6 +543,11 @@ commands:
   scenario    composed module stack: carbon + SLA + preemption + budget in one run
   live        composed LIVE middleware: SLA + carbon + budget interceptors over
               in-process and TCP transports (wall clock, no seed)
+  durable [DIR]  kill/restart drill: a journaled master dies mid-run, the next
+              incarnation replays the journal and redoes the orphaned lease —
+              books byte-equal to an uninterrupted control run
+  journal FILE  inspect a dispatch journal: record counts by state, the
+              incomplete set a restart would re-drive, torn-tail report
   spans FILE  analyze a span JSONL stream: per-stage latency percentiles and
               the critical path of the slowest requests ([-check])
   replay      schedule an external trace (-trace FILE [-policy P])
@@ -459,5 +568,7 @@ flags:
   -check      spans only: fail when a trace misses a canonical lifecycle stage
   -tasks N    scenario/live: rescale the task mix to roughly N tasks total
   -concurrency N  live only: bound each master's in-flight admissions
+  -journal F  live only: append each master's crash-safe dispatch journal to
+              F.{in-process,tcp}.wal (inspect with 'greensched journal')
 `)
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"greensched/internal/journal"
 	"greensched/internal/obs"
 )
 
@@ -300,6 +301,128 @@ func TestScenarioCommandTrace(t *testing.T) {
 	}
 }
 
+// TestLiveCommandJournal runs the live study with -journal and feeds
+// each transport's WAL back through the journal inspect subcommand:
+// every admitted lifecycle settled (batch via a deferral, hopeless via
+// a rejection), so the incomplete set is empty and the tail is clean.
+func TestLiveCommandJournal(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "live")
+	var b strings.Builder
+	if err := run([]string{"live", "-journal", prefix}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "dispatch journals written to") {
+		t.Errorf("live output does not mention the journal files:\n%s", b.String())
+	}
+	for _, wal := range []string{prefix + ".in-process.wal", prefix + ".tcp.wal"} {
+		b.Reset()
+		if err := run([]string{"journal", wal}, &b); err != nil {
+			t.Fatalf("journal %s: %v", wal, err)
+		}
+		out := b.String()
+		for _, want := range []string{"admitted", "deferred", "completed", "rejected", "incomplete: 0", "clean tail"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s inspect missing %q:\n%s", wal, want, out)
+			}
+		}
+		if strings.Contains(out, "failed") || strings.Contains(out, "torn tail") {
+			t.Errorf("%s inspect reports failures or a torn tail on a clean run:\n%s", wal, out)
+		}
+	}
+}
+
+// TestJournalCommand pins the inspector's contract on a hand-built
+// WAL: a leased lifecycle shows in the incomplete set with its owner,
+// trailing garbage is reported as a torn tail, the file itself is not
+// modified (inspection is read-only), and bad invocations error.
+func TestJournalCommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "master.wal")
+	j, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit(journal.Record{ID: 1, Service: "compute", Ops: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit(journal.Record{ID: 2, Service: "compute", Ops: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Lease(2, "sed-a", 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Settle(1, journal.StateCompleted, 1, 0.5, 10, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn mid-append")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := run([]string{"journal", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"4 records over 2 lifecycles",
+		"incomplete: 1 of 2",
+		"leased to sed-a",
+		"torn tail",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect missing %q:\n%s", want, out)
+		}
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Errorf("inspection changed the file: %d -> %d bytes", before.Size(), after.Size())
+	}
+
+	if err := run([]string{"journal"}, &b); err == nil {
+		t.Error("journal without a file must fail")
+	}
+	if err := run([]string{"journal", filepath.Join(dir, "nope.wal")}, &b); err == nil {
+		t.Error("journal on a missing file must fail")
+	}
+}
+
+// TestDurableCommandSmoke runs the kill/restart drill through the CLI
+// dispatch with a kept directory: the report renders and the .wal
+// files survive for `greensched journal`.
+func TestDurableCommandSmoke(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"durable", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Durable dispatch", "kill+restart", "redone on", "dispatch journals kept under"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	wals, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(wals) == 0 {
+		t.Fatalf("no .wal files kept in %s (%v)", dir, err)
+	}
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a
@@ -336,7 +459,7 @@ func TestUsageListsScenarioCommand(t *testing.T) {
 	if err := run([]string{"help"}, &b); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"scenario", "carbon + SLA + preemption + budget", "live", "interceptors over"} {
+	for _, want := range []string{"scenario", "carbon + SLA + preemption + budget", "live", "interceptors over", "durable", "journal FILE", "-journal F"} {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("usage text missing %q:\n%s", want, b.String())
 		}

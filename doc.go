@@ -35,6 +35,15 @@
 //	                        Config.LegacyKernel retains the original
 //	                        tick loop, held to byte-identical Results by
 //	                        the cross-engine equivalence suite
+//	internal/journal        crash-safety layer under the live path: an
+//	                        append-only, checksummed, fsync-controlled
+//	                        write-ahead log of request lifecycles
+//	                        (admit → lease → settle) with torn-tail
+//	                        recovery and compacting segment rotation;
+//	                        middleware.WithJournal mounts it and
+//	                        Master.Replay folds it back into exactly-once
+//	                        books after a crash, redoing expired leases
+//	                        on a surviving SED
 //	internal/simtime        virtual-time event engine (the kernel's heap)
 //	internal/carbon         grid carbon-intensity signals, site profiles
 //	                        and the joules→grams integrator

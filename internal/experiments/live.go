@@ -10,6 +10,7 @@ import (
 
 	"greensched/internal/budget"
 	"greensched/internal/carbon"
+	"greensched/internal/journal"
 	"greensched/internal/middleware"
 	"greensched/internal/obs"
 	"greensched/internal/report"
@@ -102,6 +103,13 @@ type LiveComposedConfig struct {
 	// emit their request span trees into one JSONL stream — the input
 	// to obs.AnalyzeSpans / `greensched spans`.
 	SpanW io.Writer
+	// JournalPath, when set, mounts a crash-safe dispatch journal
+	// (internal/journal) under each master: the in-process run appends
+	// to JournalPath+".in-process.wal" and the TCP run to
+	// JournalPath+".tcp.wal". Inspect either file afterwards with
+	// `greensched journal FILE`; with Registry also set, the
+	// greensched_journal_* metrics appear on /metrics.
+	JournalPath string
 }
 
 // DefaultLiveComposedConfig returns the calibrated sub-second
@@ -409,6 +417,14 @@ func runLiveComposed(cfg LiveComposedConfig, transport string) (LiveComposedRun,
 			fn()
 		}
 	}()
+	if cfg.JournalPath != "" {
+		jrn, err := journal.Open(cfg.JournalPath+"."+transportLabel(transport)+".wal", journal.Options{})
+		if err != nil {
+			return LiveComposedRun{}, err
+		}
+		cleanup = append(cleanup, jrn.Close)
+		opts = append(opts, middleware.WithJournal(jrn))
+	}
 	switch transport {
 	case LiveTransportInProcess:
 		opts = append(opts, middleware.WithSEDs(lean, hungry))

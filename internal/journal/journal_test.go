@@ -1,0 +1,407 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// admit returns a minimal admission record for ID.
+func admit(id uint64) Record {
+	return Record{ID: id, Service: "compute", Ops: 1e6, Class: "batch", SubmitAt: float64(id)}
+}
+
+// TestLifecycleFold drives one full lifecycle per outcome and checks
+// the reopened fold: settled entries on the settled side, incomplete
+// entries pending with their last-known state.
+func TestLifecycleFold(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 completes, 2 fails, 3 is rejected, 4 stays leased, 5 stays
+	// deferred, 6 stays admitted.
+	for id := uint64(1); id <= 6; id++ {
+		if err := j.Admit(admit(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := j.Lease(1, "lean", 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Settle(1, StateCompleted, 10, 0.5, 42, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Lease(2, "hungry", 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Settle(2, StateFailed, 11, 0, 0, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Settle(3, StateRejected, 12, 0, 0, "rejected"); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := j.Lease(4, "lean", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp <= 0 {
+		t.Fatalf("lease expiry %v", exp)
+	}
+	if err := j.Defer(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.MaxID(); got != 6 {
+		t.Errorf("MaxID = %d, want 6", got)
+	}
+	settled := j2.Settled()
+	if len(settled) != 3 {
+		t.Fatalf("settled %d entries, want 3", len(settled))
+	}
+	if settled[0].State != StateCompleted || settled[0].Final.EnergyJ != 42 {
+		t.Errorf("entry 1 = %+v", settled[0])
+	}
+	if settled[1].State != StateFailed || settled[1].Final.Err != "boom" {
+		t.Errorf("entry 2 = %+v", settled[1])
+	}
+	if settled[2].State != StateRejected {
+		t.Errorf("entry 3 = %+v", settled[2])
+	}
+	pending := j2.Pending()
+	if len(pending) != 3 {
+		t.Fatalf("pending %d entries, want 3", len(pending))
+	}
+	if pending[0].State != StateLeased || pending[0].SED != "lean" || pending[0].Expiry != exp {
+		t.Errorf("entry 4 = %+v", pending[0])
+	}
+	if pending[1].State != StateDeferred {
+		t.Errorf("entry 5 = %+v", pending[1])
+	}
+	if pending[2].State != StateAdmitted {
+		t.Errorf("entry 6 = %+v", pending[2])
+	}
+	if pending[2].Admit.Service != "compute" || pending[2].Admit.Class != "batch" {
+		t.Errorf("admission payload lost: %+v", pending[2].Admit)
+	}
+}
+
+// TestDedup checks the journal's idempotence guarantees: re-admitting
+// a pending ID, settling twice, and mutating an unknown ID are all
+// silent no-ops.
+func TestDedup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Admit(admit(1)); err != nil {
+		t.Fatal(err)
+	}
+	before := j.Stats().Appended
+	if err := j.Admit(admit(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Stats().Appended; got != before {
+		t.Errorf("re-admit wrote a record (%d → %d)", before, got)
+	}
+	if err := j.Settle(1, StateCompleted, 1, 1, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	before = j.Stats().Appended
+	if err := j.Settle(1, StateCompleted, 2, 2, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Lease(1, "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Defer(99); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Stats().Appended; got != before {
+		t.Errorf("settled/unknown mutations wrote records (%d → %d)", before, got)
+	}
+	if err := j.Settle(2, StateLeased, 0, 0, 0, ""); err == nil {
+		t.Error("Settle accepted a non-terminal state")
+	}
+}
+
+// TestTornTail cuts the final frame mid-payload and checks recovery
+// truncates to the good prefix with a warning — never panics, never
+// loses the good records.
+func TestTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 3; id++ {
+		if err := j.Admit(admit(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the last 5 bytes: the final record is torn.
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warned strings.Builder
+	j2, err := Open(path, Options{Warn: func(f string, a ...any) {
+		warned.WriteString(strings.TrimSpace(f))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j2.Pending()); got != 2 {
+		t.Errorf("pending %d, want 2 (good prefix)", got)
+	}
+	if !j2.Stats().Truncated {
+		t.Error("Truncated flag not set")
+	}
+	if warned.Len() == 0 {
+		t.Error("no warning for torn tail")
+	}
+	// The journal stays appendable at the truncation point.
+	if err := j2.Admit(admit(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if got := len(j3.Pending()); got != 3 {
+		t.Errorf("pending %d after re-append, want 3", got)
+	}
+}
+
+// TestCorruptChecksum flips a byte in a mid-log record: recovery keeps
+// the records before it and reports the cut.
+func TestCorruptChecksum(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 4; id++ {
+		if err := j.Admit(admit(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte roughly in the middle of the log (inside the
+	// second or third record, past its header).
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated {
+		t.Fatal("corrupt record not reported")
+	}
+	if !strings.Contains(rec.Reason, "checksum") && !strings.Contains(rec.Reason, "undecodable") && !strings.Contains(rec.Reason, "implausible") {
+		t.Errorf("reason %q does not describe corruption", rec.Reason)
+	}
+	if rec.Records == 0 || rec.Records >= 4 {
+		t.Errorf("recovered %d records, want a proper prefix of 4", rec.Records)
+	}
+	// Open applies the same cut and keeps going.
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := len(j2.Pending()); got != rec.Records {
+		t.Errorf("pending %d, want %d (one admission per good record)", got, rec.Records)
+	}
+}
+
+// syncFail wraps the real segment file, failing every Sync.
+type syncFail struct {
+	segmentFile
+}
+
+func (s syncFail) Sync() error { return errors.New("injected fsync failure") }
+
+// TestFsyncError injects a failing fsync: the append surfaces the
+// error and counts it, but the journal neither panics nor wedges —
+// the record is written and later appends still work.
+func TestFsyncError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := j.f
+	j.f = syncFail{real}
+	if err := j.Admit(admit(1)); err == nil {
+		t.Fatal("fsync failure not surfaced")
+	}
+	if got := j.Stats().SyncErrors; got != 1 {
+		t.Errorf("SyncErrors = %d, want 1", got)
+	}
+	// The record reached the OS buffer; the fold sees it.
+	if got := len(j.Pending()); got != 1 {
+		t.Errorf("pending %d, want 1", got)
+	}
+	j.f = real
+	if err := j.Admit(admit(2)); err != nil {
+		t.Fatalf("journal wedged after fsync error: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := len(j2.Pending()); got != 2 {
+		t.Errorf("pending %d after reopen, want 2", got)
+	}
+}
+
+// TestRotationCompaction drives enough settled lifecycles through a
+// tiny segment limit to force rotation, then checks the compacted
+// file holds only the incomplete entries and folds identically.
+func TestRotationCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, Options{NoSync: true, SegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two long-lived incomplete entries bracket a churn of settled ones.
+	if err := j.Admit(admit(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Lease(1, "lean", 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit(admit(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Defer(2); err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(10); id < 100; id++ {
+		if err := j.Admit(admit(id)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Lease(id, "hungry", 60); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Settle(id, StateCompleted, float64(id), 0.1, 1, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.Stats()
+	if st.Rotations == 0 {
+		t.Fatal("no rotation under a 2 KiB segment limit")
+	}
+	if st.SegmentBytes > 2048+1024 {
+		t.Errorf("active segment %d bytes despite compaction", st.SegmentBytes)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 4096 {
+		t.Errorf("on-disk journal %d bytes; compaction should keep it near the pending set", fi.Size())
+	}
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	pending := j2.Pending()
+	if len(pending) != 2 {
+		t.Fatalf("pending %d after compaction, want 2", len(pending))
+	}
+	if pending[0].State != StateLeased || pending[0].SED != "lean" {
+		t.Errorf("entry 1 lost its lease through compaction: %+v", pending[0])
+	}
+	if pending[1].State != StateDeferred {
+		t.Errorf("entry 2 lost its park through compaction: %+v", pending[1])
+	}
+	// Rotation dropped the settled bulk; only lifecycles settled after
+	// the last rotation may remain in the tail.
+	if got := len(j2.Settled()); got >= 45 {
+		t.Errorf("%d of 90 settled entries survived compaction", got)
+	}
+}
+
+// TestAbandon is the crash drill: appends after Abandon are lost with
+// ErrClosed, appends before it survive on disk.
+func TestAbandon(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit(admit(1)); err != nil {
+		t.Fatal(err)
+	}
+	j.Abandon()
+	if err := j.Admit(admit(2)); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after Abandon: %v, want ErrClosed", err)
+	}
+	if err := j.Settle(1, StateCompleted, 1, 1, 1, ""); !errors.Is(err, ErrClosed) {
+		t.Errorf("settle after Abandon: %v, want ErrClosed", err)
+	}
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := len(j2.Pending()); got != 1 {
+		t.Errorf("pending %d, want the pre-crash admission only", got)
+	}
+}
+
+// TestRecoverEmpty folds an empty log.
+func TestRecoverEmpty(t *testing.T) {
+	rec, err := Recover(bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Truncated || rec.Records != 0 || len(rec.Entries) != 0 {
+		t.Errorf("empty log folded to %+v", rec)
+	}
+}

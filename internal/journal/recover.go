@@ -1,0 +1,156 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Recovery is the fold of a journal log: every request the log has
+// seen with its last-known state, plus a report on how the read ended.
+type Recovery struct {
+	// Entries holds one folded entry per admitted request, in
+	// first-admission order.
+	Entries []Entry
+	// Counts tallies the records read, by state.
+	Counts map[State]int
+	// Records is the total number of good records folded.
+	Records int
+	// Orphans counts non-admission records whose request was never
+	// admitted in this log (compaction can legitimately produce none;
+	// a nonzero count usually means the log lost its head).
+	Orphans int
+	// MaxID and MaxSeq are the highest request ID / sequence number
+	// seen.
+	MaxID  uint64
+	MaxSeq uint64
+	// GoodBytes is the length of the valid prefix. When Truncated is
+	// true the log should be cut here.
+	GoodBytes int64
+	// Truncated reports a torn or corrupt tail: the read stopped at
+	// GoodBytes instead of a clean EOF.
+	Truncated bool
+	// Reason describes why the tail was dropped ("" on a clean read).
+	Reason string
+}
+
+// Incomplete returns the folded entries that never settled — the set
+// a restarting master re-submits — sorted by admission order.
+func (r *Recovery) Incomplete() []Entry {
+	var out []Entry
+	for _, e := range r.Entries {
+		if !e.Settled() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Settled returns the folded entries that reached a terminal state.
+func (r *Recovery) Settled() []Entry {
+	var out []Entry
+	for _, e := range r.Entries {
+		if e.Settled() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Recover folds a journal log into the set of requests it describes.
+// It never fails on a damaged tail: a torn final frame (crash
+// mid-append) or a checksum mismatch stops the read at the last good
+// frame and reports it via Truncated/Reason — the caller decides
+// whether to truncate the file (Open does). Only a genuine read error
+// from r is returned as an error.
+func Recover(r io.Reader) (*Recovery, error) {
+	out := &Recovery{Counts: make(map[State]int)}
+	index := make(map[uint64]int) // request ID → position in Entries
+	var hdr [headerBytes]byte
+	for {
+		n, err := io.ReadFull(r, hdr[:])
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil // clean end of log
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				out.torn(fmt.Sprintf("torn header (%d of %d bytes)", n, headerBytes))
+				return out, nil
+			}
+			return nil, fmt.Errorf("journal: read header: %w", err)
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if size == 0 || size > maxRecordBytes {
+			out.torn(fmt.Sprintf("implausible record length %d", size))
+			return out, nil
+		}
+		payload := make([]byte, size)
+		if m, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				out.torn(fmt.Sprintf("torn payload (%d of %d bytes)", m, size))
+				return out, nil
+			}
+			return nil, fmt.Errorf("journal: read payload: %w", err)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			out.torn(fmt.Sprintf("checksum mismatch (want %08x, got %08x)", sum, got))
+			return out, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			out.torn(fmt.Sprintf("undecodable record: %v", err))
+			return out, nil
+		}
+		out.GoodBytes += int64(headerBytes) + int64(size)
+		out.Records++
+		out.Counts[rec.State]++
+		if rec.Seq > out.MaxSeq {
+			out.MaxSeq = rec.Seq
+		}
+		if rec.ID > out.MaxID {
+			out.MaxID = rec.ID
+		}
+		out.fold(index, rec)
+	}
+}
+
+// fold applies one record to the running per-request state.
+func (r *Recovery) fold(index map[uint64]int, rec Record) {
+	if rec.State == StateAdmitted {
+		if _, ok := index[rec.ID]; ok {
+			return // duplicate admission: first one wins
+		}
+		index[rec.ID] = len(r.Entries)
+		r.Entries = append(r.Entries, Entry{Admit: rec, State: StateAdmitted})
+		return
+	}
+	i, ok := index[rec.ID]
+	if !ok {
+		r.Orphans++
+		return
+	}
+	e := &r.Entries[i]
+	switch rec.State {
+	case StateLeased:
+		e.State = StateLeased
+		e.SED = rec.SED
+		e.Expiry = rec.Expiry
+	case StateDeferred:
+		if !e.State.Settled() {
+			e.State = StateDeferred
+		}
+	case StateCompleted, StateFailed, StateRejected:
+		e.State = rec.State
+		e.Final = rec
+	}
+}
+
+// torn marks a damaged tail.
+func (r *Recovery) torn(reason string) {
+	r.Truncated = true
+	r.Reason = reason
+}

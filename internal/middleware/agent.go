@@ -156,6 +156,32 @@ func (a *Agent) Attach(children ...Child) {
 	})
 }
 
+// Detach removes the first child with the given name, reporting
+// whether one was found. Like Attach it publishes a fresh snapshot, so
+// in-flight Estimates keep scanning the old child list unharmed.
+func (a *Agent) Detach(name string) bool {
+	removed := false
+	a.mutate(func(st *agentState) {
+		next := make([]Child, 0, len(st.children))
+		for _, c := range st.children {
+			if !removed && c.Name() == name {
+				removed = true
+				continue
+			}
+			next = append(next, c)
+		}
+		st.children = next
+		st.localFanout = true
+		for _, c := range next {
+			if _, ok := c.(*SED); !ok {
+				st.localFanout = false
+				break
+			}
+		}
+	})
+	return removed
+}
+
 // SetChildTimeout bounds each child's estimation round trip; a slow or
 // hung subtree is then treated like a failed one instead of stalling
 // the whole scheduling process. Zero (the default) disables the bound.

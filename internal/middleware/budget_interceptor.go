@@ -47,6 +47,12 @@ func (b *BudgetInterceptor) OnComplete(rec RequestRecord) {
 	b.Tracker.Charge(rec.Finish, rec.EnergyJ)
 }
 
+// Rebook implements Rebooker: a journaled outcome's energy share is
+// charged at its original finish time, exactly once, after a restart.
+func (b *BudgetInterceptor) Rebook(rec RequestRecord) {
+	b.Tracker.Charge(rec.Finish, rec.EnergyJ)
+}
+
 // Finalize implements Interceptor.
 func (b *BudgetInterceptor) Finalize(res *LiveResult) {
 	res.BudgetSpentJ += b.Tracker.Spent()

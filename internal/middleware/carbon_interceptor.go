@@ -8,6 +8,7 @@ import (
 
 	"greensched/internal/carbon"
 	"greensched/internal/estvec"
+	"greensched/internal/journal"
 	"greensched/internal/obs"
 )
 
@@ -61,6 +62,7 @@ type CarbonInterceptor struct {
 
 	clock func() float64
 	src   string
+	jrn   *journal.Journal
 
 	mu          sync.Mutex
 	parked      map[uint64]float64 // request ID → park time on the mount's clock
@@ -84,6 +86,7 @@ func (c *CarbonInterceptor) Init(mount Mount) error {
 	if mount.Master != nil {
 		c.clock = mount.Master.Now
 		c.src = mount.Master.Name()
+		c.jrn = mount.Master.Journal()
 	} else {
 		epoch := c.Epoch
 		if epoch.IsZero() {
@@ -138,6 +141,12 @@ func (c *CarbonInterceptor) OnSubmit(ctx context.Context, now float64, req *Requ
 	c.mu.Lock()
 	c.parked[req.ID] = start
 	c.mu.Unlock()
+	if c.jrn != nil {
+		// Best-effort: the admission record already keeps a parked
+		// request incomplete (hence replayed); the deferred record is
+		// what lets inspection tell a park from a lost dispatch.
+		c.jrn.Defer(req.ID)
+	}
 	ticker := time.NewTicker(time.Duration(poll * float64(time.Second)))
 	defer ticker.Stop()
 	for {
@@ -192,6 +201,14 @@ func (c *CarbonInterceptor) OnComplete(rec RequestRecord) {
 	c.mu.Lock()
 	c.grams += rec.EnergyJ / carbon.JoulesPerKWh * g
 	c.mu.Unlock()
+}
+
+// Rebook implements Rebooker: a journaled outcome's energy share is
+// re-integrated against the grid at its original finish time. The
+// deferral counters are NOT restored — they are observability of this
+// incarnation's waits, not books.
+func (c *CarbonInterceptor) Rebook(rec RequestRecord) {
+	c.OnComplete(rec)
 }
 
 // Finalize implements Interceptor: deferral counters and the emissions

@@ -1,0 +1,64 @@
+package middleware
+
+// Lifecycle bundles typed callbacks for hierarchy churn — the
+// observability hooks a fleet controller registers to react to agents
+// joining and leaving and to SEDs failing dispatches, without polling
+// SEDStats. Callbacks run synchronously on the mutating (or, for
+// SEDDown, the dispatching) goroutine: keep them fast and non-blocking,
+// and make them concurrency-safe — SEDDown in particular fires from
+// concurrent request lifecycles. Nil fields are simply not called.
+type Lifecycle struct {
+	// AgentJoined fires for every child attached to the master's root
+	// agent: once per WithSEDs/WithRemotes/WithChildren entry during
+	// NewMaster, then on every Master.Attach.
+	AgentJoined func(name string)
+	// AgentLeft fires when Master.Detach removes a child.
+	AgentLeft func(name string)
+	// SEDDown fires when a dispatch to an elected SED fails while the
+	// request's context is still live — transport loss or execution
+	// error, the signal WithRetries fails over on (and, with a journal
+	// mounted, the in-run counterpart of a lease expiring).
+	SEDDown func(name string, err error)
+}
+
+// WithLifecycle registers the churn callbacks on the master.
+func WithLifecycle(lc Lifecycle) Option {
+	return func(c *masterConfig) { c.lifecycle = lc }
+}
+
+// Attach adds children to the root agent and fires AgentJoined for
+// each (shadows Agent.Attach to add the hook). A child that is itself
+// a Solver (a SED, a Remote) is also registered in the transport
+// directory when the transport supports it, so an attached node is
+// dispatchable, not just electable — the same wiring NewMaster does
+// for construction-time children.
+func (m *Master) Attach(children ...Child) {
+	m.MasterAgent.Attach(children...)
+	type adder interface {
+		Add(name string, s Solver)
+	}
+	dir, canAdd := m.dir.(adder)
+	for _, c := range children {
+		if c == nil {
+			continue
+		}
+		if s, ok := c.(Solver); ok && canAdd {
+			dir.Add(c.Name(), s)
+		}
+		if m.lifecycle.AgentJoined != nil {
+			m.lifecycle.AgentJoined(c.Name())
+		}
+	}
+}
+
+// Detach removes the named child from the root agent and fires
+// AgentLeft when it was present. The transport directory is left
+// untouched: in-flight requests already elected onto the SED may still
+// resolve it, they just can't be elected onto it anymore.
+func (m *Master) Detach(name string) bool {
+	ok := m.MasterAgent.Detach(name)
+	if ok && m.lifecycle.AgentLeft != nil {
+		m.lifecycle.AgentLeft(name)
+	}
+	return ok
+}

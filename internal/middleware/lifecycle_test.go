@@ -1,0 +1,99 @@
+package middleware
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"greensched/internal/sched"
+)
+
+// TestLifecycleHooks: AgentJoined fires for construction-time children
+// and Attach, AgentLeft fires on Detach (and a detached SED is no
+// longer electable), SEDDown fires when a dispatch fails while the
+// request is still live.
+func TestLifecycleHooks(t *testing.T) {
+	var mu sync.Mutex
+	var joined, left []string
+	var downName string
+	var downErr error
+
+	lc := Lifecycle{
+		AgentJoined: func(name string) { mu.Lock(); joined = append(joined, name); mu.Unlock() },
+		AgentLeft:   func(name string) { mu.Lock(); left = append(left, name); mu.Unlock() },
+		SEDDown: func(name string, err error) {
+			mu.Lock()
+			downName, downErr = name, err
+			mu.Unlock()
+		},
+	}
+
+	sedA := newSED(t, "sed-a", 1, 1e9, 100)
+	m, err := NewMaster(
+		WithPolicy(sched.New(sched.LeastLoaded)),
+		WithSEDs(sedA),
+		WithLifecycle(lc),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	if len(joined) != 1 || joined[0] != "sed-a" {
+		t.Fatalf("joined after NewMaster = %v, want [sed-a]", joined)
+	}
+	mu.Unlock()
+
+	sedB := newSED(t, "sed-b", 1, 1e9, 100)
+	m.Attach(sedB)
+	mu.Lock()
+	if len(joined) != 2 || joined[1] != "sed-b" {
+		t.Fatalf("joined after Attach = %v, want [sed-a sed-b]", joined)
+	}
+	mu.Unlock()
+
+	if !m.Detach("sed-b") {
+		t.Fatal("Detach(sed-b) = false, want true")
+	}
+	if m.Detach("sed-b") {
+		t.Fatal("second Detach(sed-b) = true, want false (already gone)")
+	}
+	mu.Lock()
+	if len(left) != 1 || left[0] != "sed-b" {
+		t.Fatalf("left = %v, want [sed-b]", left)
+	}
+	mu.Unlock()
+
+	// The detached SED is out of the election pool: every dispatch
+	// lands on the survivor.
+	for i := 0; i < 4; i++ {
+		resp, err := m.Submit(context.Background(), "burn", 1e6, 0.5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Server != "sed-a" {
+			t.Fatalf("post-detach dispatch landed on %q, want sed-a", resp.Server)
+		}
+	}
+
+	// A failing dispatch with a live request context reports the SED.
+	sedBad, err := NewSED(SEDConfig{Name: "sed-bad", Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sedBad.Register(Service{
+		Name:  "flaky",
+		Solve: func(context.Context, Request) ([]byte, error) { return nil, context.DeadlineExceeded },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(sedBad)
+	if _, err := m.Submit(context.Background(), "flaky", 1e6, 0.5, nil); err == nil {
+		t.Fatal("flaky dispatch succeeded, want error")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if downName != "sed-bad" || downErr == nil {
+		t.Fatalf("SEDDown = (%q, %v), want sed-bad with its error", downName, downErr)
+	}
+}

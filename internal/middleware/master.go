@@ -12,6 +12,7 @@ import (
 
 	"greensched/internal/core"
 	"greensched/internal/estvec"
+	"greensched/internal/journal"
 	"greensched/internal/obs"
 	"greensched/internal/sched"
 )
@@ -32,11 +33,22 @@ type Master struct {
 	concurrency int
 	sem         chan struct{}
 
+	jrn          *journal.Journal
+	leaseTermSec float64
+	lifecycle    Lifecycle
+
 	nextID    atomic.Uint64
 	submitted atomic.Int64
 	completed atomic.Int64
 	rejected  atomic.Int64
 	failed    atomic.Int64
+
+	// Journal-path counters (see WithJournal / Replay); surfaced as
+	// greensched_journal_* by ObsInterceptor.
+	journalErrs   atomic.Int64
+	replays       atomic.Int64
+	leaseExpiries atomic.Int64
+	redone        atomic.Int64
 
 	// energyBits is the running joule total as math.Float64bits — a
 	// CAS loop instead of a mutex, so thousands of concurrent
@@ -64,17 +76,20 @@ func (m *Master) EnergyJ() float64 {
 
 // masterConfig is what the functional options assemble.
 type masterConfig struct {
-	agent       AgentConfig
-	transport   Directory
-	filter      CandidateFilter
-	children    []Child
-	seds        []*SED
-	remotes     []*Remote
-	clock       func() float64
-	metricsAddr string
-	spans       *obs.SpanWriter
-	retries     int
-	concurrency int
+	agent        AgentConfig
+	transport    Directory
+	filter       CandidateFilter
+	children     []Child
+	seds         []*SED
+	remotes      []*Remote
+	clock        func() float64
+	metricsAddr  string
+	spans        *obs.SpanWriter
+	retries      int
+	concurrency  int
+	journal      *journal.Journal
+	leaseTermSec float64
+	lifecycle    Lifecycle
 }
 
 // Option configures NewMaster.
@@ -257,7 +272,15 @@ func NewMaster(opts ...Option) (*Master, error) {
 		return nil, fmt.Errorf("middleware: master %s: negative concurrency", cfg.agent.Name)
 	}
 	m := &Master{MasterAgent: ma, dir: dir, ics: cfg.agent.Interceptors, clock: clock,
-		retries: cfg.retries, concurrency: cfg.concurrency}
+		retries: cfg.retries, concurrency: cfg.concurrency,
+		jrn: cfg.journal, leaseTermSec: cfg.leaseTermSec, lifecycle: cfg.lifecycle}
+	if m.jrn != nil {
+		if m.leaseTermSec <= 0 {
+			m.leaseTermSec = journal.DefaultLeaseTermSec
+		}
+		// New traffic must never reuse a journaled lifecycle's ID.
+		m.nextID.Store(m.jrn.MaxID())
+	}
 	if cfg.concurrency > 0 {
 		m.sem = make(chan struct{}, cfg.concurrency)
 	}
@@ -291,6 +314,19 @@ func NewMaster(opts ...Option) (*Master, error) {
 			return nil, fmt.Errorf("middleware: master %s: metrics listener: %w", cfg.agent.Name, err)
 		}
 		m.metrics = srv
+	}
+	if m.lifecycle.AgentJoined != nil {
+		for _, sed := range cfg.seds {
+			m.lifecycle.AgentJoined(sed.Name())
+		}
+		for _, rem := range cfg.remotes {
+			m.lifecycle.AgentJoined(rem.Name())
+		}
+		for _, c := range cfg.children {
+			if c != nil {
+				m.lifecycle.AgentJoined(c.Name())
+			}
+		}
 	}
 	return m, nil
 }
@@ -336,7 +372,18 @@ func (m *Master) Submit(ctx context.Context, service string, ops float64, pref f
 // the lifecycle is emitted as a span tree rooted at "submit" — see
 // WithSpans — and every stage feeds greensched_stage_seconds when an
 // ObsInterceptor registry is mounted.
+//
+// With WithJournal mounted, the admission is journaled before the
+// hooks run, each dispatch books a lease on the elected SED, and the
+// outcome settles the entry — see Replay for the restart path.
 func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
+	return m.doWith(ctx, req, nil)
+}
+
+// doWith is Do with a pre-seeded election exclusion set: Replay uses
+// it to redo a journaled lease on a DIFFERENT SED than the one the
+// dead master had dispatched to.
+func (m *Master) doWith(ctx context.Context, req Request, excluded map[string]bool) (Response, error) {
 	if m.sem != nil {
 		select {
 		case m.sem <- struct{}{}:
@@ -349,6 +396,11 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 		req.ID = m.nextID.Add(1)
 	}
 	m.submitted.Add(1)
+	// The admission is durable BEFORE the interceptor stack runs, so a
+	// request that crashes while parked inside an OnSubmit hook (carbon
+	// deferral) is still replayed. Re-admission of a replayed ID dedups
+	// inside the journal.
+	m.journalAdmit(req)
 
 	// Trace context is minted here and rides the Request — through the
 	// estimation fan-out, across the gob wire, into the SED — so every
@@ -402,6 +454,7 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 				// failure record releases it (hooks ignore IDs they never
 				// admitted).
 				now := m.clock()
+				m.journalSettle(req.ID, err, now, 0, 0)
 				rec := RequestRecord{Req: req, Submit: now, Start: now, Finish: now, Err: err}
 				for _, ic := range m.ics {
 					ic.OnComplete(rec)
@@ -416,9 +469,11 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 	submitAt := m.clock()
 	fail := func(server string, start float64, err error) (Response, error) {
 		m.failed.Add(1)
+		finish := m.clock()
+		m.journalSettle(req.ID, err, finish, 0, 0)
 		rec := RequestRecord{
 			Req: req, Server: server,
-			Submit: submitAt, Start: start, Finish: m.clock(),
+			Submit: submitAt, Start: start, Finish: finish,
 			Err: err,
 		}
 		for _, ic := range m.ics {
@@ -428,9 +483,6 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 		return Response{}, err
 	}
 
-	// Allocated only on the first failover — the success path never
-	// pays for the map.
-	var excluded map[string]bool
 	for attempt := 0; ; attempt++ {
 		// Election. The elect span's ID is minted up front so the
 		// per-level estimate spans (and, through them, transport spans)
@@ -453,7 +505,7 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 		var server string
 		var list estvec.List
 		var err error
-		if attempt == 0 {
+		if attempt == 0 && excluded == nil {
 			server, list, err = m.Elect(ctx, ereq)
 		} else {
 			server, list, err = m.ElectExcluding(ctx, ereq, excluded)
@@ -489,10 +541,12 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 			return fail(server, now, fmt.Errorf("middleware: elected SED %q not in transport", server))
 		}
 
-		// Dispatch: the wire crossing plus remote execution. The copy
-		// handed to the solver parents under the dispatch span so
-		// transport (dial/encode/decode) and SED (queue/solve) spans
-		// nest here.
+		// Dispatch: the wire crossing plus remote execution. The lease
+		// books the elected SED as the request's owner until the term
+		// expires; a failover re-lease supersedes it. The copy handed to
+		// the solver parents under the dispatch span so transport
+		// (dial/encode/decode) and SED (queue/solve) spans nest here.
+		m.journalLease(req.ID, server)
 		start := m.clock()
 		var dispStart float64
 		dreq := req
@@ -507,6 +561,9 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 		resp, err := solver.Solve(ctx, dreq)
 		m.endDispatch(req, rootID, dispID, server, dispStart, resp, err)
 		if err != nil {
+			if ctx.Err() == nil && m.lifecycle.SEDDown != nil {
+				m.lifecycle.SEDDown(server, err)
+			}
 			if attempt < m.retries && ctx.Err() == nil {
 				if excluded == nil {
 					excluded = make(map[string]bool)
@@ -520,6 +577,7 @@ func (m *Master) Do(ctx context.Context, req Request) (Response, error) {
 
 		m.completed.Add(1)
 		m.addEnergy(resp.EnergyJ)
+		m.journalSettle(req.ID, nil, finish, resp.ExecSec, resp.EnergyJ)
 
 		rec := RequestRecord{
 			Req: req, Server: resp.Server,

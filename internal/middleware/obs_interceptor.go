@@ -82,6 +82,18 @@ type ObsInterceptor struct {
 	solveSec  obs.Histogram
 	energyReq obs.Histogram
 
+	// Journal families, registered only when the master mounts a
+	// journal and refreshed at scrape time from journal.Stats plus the
+	// master's replay atomics.
+	jrnRecords  obs.Counter
+	jrnBytes    obs.Counter
+	jrnRotates  obs.Counter
+	jrnReplays  obs.Counter
+	jrnExpiries obs.Counter
+	jrnRedone   obs.Counter
+	jrnErrors   obs.Counter
+	jrnPending  obs.Gauge
+
 	// Fleet-wide per-SED families, labelled (labels..., "sed") and
 	// refreshed at scrape time from Master.SEDStats — which covers
 	// remote daemons through the wireStats frame, so one master scrape
@@ -166,6 +178,17 @@ func (o *ObsInterceptor) Init(mount Mount) error {
 	o.energyReq = reg.HistogramVec("greensched_request_energy_joules",
 		"Attributed energy share per successful request.", obs.ExpBuckets(0.001, 10, 12), o.names...).With(o.vals...)
 
+	if mount.Master.jrn != nil {
+		o.jrnRecords = counter("greensched_journal_records_total", "Lifecycle records appended to the dispatch journal.")
+		o.jrnBytes = counter("greensched_journal_bytes_total", "Bytes appended to the dispatch journal (headers + payloads).")
+		o.jrnRotates = counter("greensched_journal_rotations_total", "Segment rotations (compactions) the journal performed.")
+		o.jrnReplays = counter("greensched_journal_replays_total", "Incomplete requests re-submitted by Master.Replay.")
+		o.jrnExpiries = counter("greensched_journal_lease_expiries_total", "Leases found expired (or waited out) during replay.")
+		o.jrnRedone = counter("greensched_journal_redo_total", "Leased requests redone on a different SED after lease expiry.")
+		o.jrnErrors = counter("greensched_journal_errors_total", "Journal append/sync errors (appends the master could not make durable).")
+		o.jrnPending = gauge("greensched_journal_pending", "Incomplete lifecycles currently tracked by the journal.")
+	}
+
 	sedLabels := append(append([]string{}, o.names...), "sed")
 	o.sedCompleted = reg.CounterVec("greensched_sed_completed_total", "Requests each SED completed (fleet-wide, incl. remotes).", sedLabels...)
 	o.sedFailed = reg.CounterVec("greensched_sed_failed_total", "Requests each SED failed (fleet-wide, incl. remotes).", sedLabels...)
@@ -186,6 +209,17 @@ func (o *ObsInterceptor) Init(mount Mount) error {
 		st := master.Deferred()
 		o.parked.Set(float64(st.Parked))
 		o.parkedOldest.Set(st.OldestSec)
+		if jrn := master.jrn; jrn != nil {
+			js := jrn.Stats()
+			o.jrnRecords.Add(float64(js.Appended) - o.jrnRecords.Value())
+			o.jrnBytes.Add(float64(js.BytesTotal) - o.jrnBytes.Value())
+			o.jrnRotates.Add(float64(js.Rotations) - o.jrnRotates.Value())
+			o.jrnReplays.Add(float64(master.replays.Load()) - o.jrnReplays.Value())
+			o.jrnExpiries.Add(float64(master.leaseExpiries.Load()) - o.jrnExpiries.Value())
+			o.jrnRedone.Add(float64(master.redone.Load()) - o.jrnRedone.Value())
+			o.jrnErrors.Add(float64(js.SyncErrors) + float64(master.journalErrs.Load()) - o.jrnErrors.Value())
+			o.jrnPending.Set(float64(js.Pending))
+		}
 		for _, s := range master.SEDStats() {
 			lv := append(append([]string{}, o.vals...), s.Name)
 			c := o.sedCompleted.With(lv...)
@@ -281,6 +315,24 @@ func (o *ObsInterceptor) OnComplete(rec RequestRecord) {
 		o.failures.Inc()
 		o.Tracer.Emit(obs.Event{T: rec.Finish, Event: obs.EventFail, ID: rec.Req.ID, Src: o.src, Class: rec.Req.Class,
 			Server: rec.Server, Err: rec.Err.Error()})
+	}
+}
+
+// Rebook implements Rebooker: a journaled, settled outcome restored
+// after a restart counts as one request with its outcome — never as
+// in-flight, and without trace events (its lifecycle happened in a
+// previous incarnation; the tracer only records this one's).
+func (o *ObsInterceptor) Rebook(rec RequestRecord) {
+	o.requests.Inc()
+	switch {
+	case rec.Err == nil:
+		o.completions.Inc()
+		o.solveSec.Observe(rec.Finish - rec.Start)
+		o.energyReq.Observe(rec.EnergyJ)
+	case errors.Is(rec.Err, ErrRejected):
+		o.rejections.Inc()
+	default:
+		o.failures.Inc()
 	}
 }
 

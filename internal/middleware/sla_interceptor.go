@@ -2,6 +2,7 @@ package middleware
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -120,6 +121,33 @@ func (i *SLAInterceptor) OnComplete(rec RequestRecord) {
 		return
 	}
 	i.ledger.Complete(terms, rec.Finish)
+}
+
+// Rebook implements Rebooker: a journaled, already-settled outcome is
+// restored to the ledger after a master restart. Terms resolve from
+// the record's ORIGINAL submit time, so the dollars land exactly where
+// the dead master would have booked them; nothing is stored in the
+// per-request terms map — the lifecycle is already over.
+func (i *SLAInterceptor) Rebook(rec RequestRecord) {
+	terms := i.catalog.Resolve(workload.Task{
+		ID: int(rec.Req.ID), Ops: rec.Req.Ops, Submit: rec.Submit,
+		Deadline: rec.Req.Deadline, Value: rec.Req.Value, Class: rec.Req.Class,
+	})
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	switch {
+	case rec.Err == nil:
+		if rec.ExecSec > 0 && rec.Req.Ops > 0 {
+			if f := rec.Req.Ops / rec.ExecSec; f > i.bestFlops {
+				i.bestFlops = f
+			}
+		}
+		i.ledger.Complete(terms, rec.Finish)
+	case errors.Is(rec.Err, ErrRejected):
+		i.ledger.Reject(terms)
+	default:
+		i.ledger.Fail(terms)
+	}
 }
 
 // Finalize implements Interceptor: it publishes the ledger summary,
