@@ -421,6 +421,14 @@ func runDurable(cfg DurableConfig, transport string) (DurableRun, error) {
 		jrn2.Close()
 		return run, err
 	}
+	// The deferred entry replays in the background (Replay never waits
+	// behind a carbon window); the restarted grid is clean, so draining
+	// it here is what proves the park survived the crash.
+	if err := inc2.master.ReplayWait(context.Background()); err != nil {
+		inc2.close()
+		jrn2.Close()
+		return run, err
+	}
 	run.Replay = st
 	run.Interrupted = *inc2.master.Finalize()
 	run.JournalStats = jrn2.Stats()

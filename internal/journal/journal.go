@@ -166,6 +166,13 @@ var ErrClosed = fmt.Errorf("journal: closed")
 // whether that is fatal; the middleware counts it and keeps serving.
 var ErrSync = fmt.Errorf("journal: fsync")
 
+// ErrTooLarge is returned when a record's encoding exceeds
+// maxRecordBytes. The frame is never written: recovery treats any
+// frame length over the limit as a corrupt tail, so emitting one would
+// silently truncate the record AND everything journaled after it at
+// the next restart.
+var ErrTooLarge = fmt.Errorf("journal: record too large")
+
 // segmentFile is the active segment's runtime surface — *os.File in
 // production; tests substitute a failing implementation to drive the
 // fsync-error path.
@@ -478,11 +485,14 @@ func (j *Journal) append(rec *Record) error {
 		rec.T = j.now()
 	}
 	n, err := writeFrame(j.f, rec)
-	j.segLen += int64(n)
-	j.bytesTotal += uint64(n)
 	if err != nil {
+		if n > 0 {
+			j.rewindTorn(int64(n), err)
+		}
 		return fmt.Errorf("journal: append: %w", err)
 	}
+	j.segLen += int64(n)
+	j.bytesTotal += uint64(n)
 	j.appended++
 	if !j.noSync {
 		if err := j.f.Sync(); err != nil {
@@ -494,6 +504,32 @@ func (j *Journal) append(rec *Record) error {
 		}
 	}
 	return nil
+}
+
+// rewindTorn repairs a partial frame write (caller holds mu): wrote
+// bytes of a frame landed after the last good boundary at segLen, and
+// recovery stops at the first bad frame, so any append allowed to land
+// after them would be silently lost at the next restart. The segment is
+// truncated back to segLen and the write offset restored; if the
+// segment cannot be rewound, the journal is failed (every later
+// mutation returns ErrClosed) — loudly non-durable beats quietly
+// journaling records recovery will drop.
+func (j *Journal) rewindTorn(wrote int64, cause error) {
+	type rewinder interface {
+		Truncate(size int64) error
+		io.Seeker
+	}
+	if rw, ok := j.f.(rewinder); ok {
+		if err := rw.Truncate(j.segLen); err == nil {
+			if _, err := rw.Seek(j.segLen, io.SeekStart); err == nil {
+				j.warn("journal: %s: rewound torn frame (%d bytes) after write error: %v", j.path, wrote, cause)
+				return
+			}
+		}
+	}
+	j.warn("journal: %s: torn frame (%d bytes) could not be rewound after write error (%v); failing journal", j.path, wrote, cause)
+	j.f.Close()
+	j.f = nil
 }
 
 // maybeRotate compacts the active segment once it exceeds the limit:
@@ -558,11 +594,17 @@ func (j *Journal) maybeRotate() error {
 }
 
 // writeFrame encodes one record as header+payload and returns the
-// bytes written (possibly partial on error).
+// bytes written (possibly partial on error). A record whose encoding
+// exceeds maxRecordBytes is refused BEFORE any byte hits the file —
+// recovery rejects oversized frames as a corrupt tail, so writing one
+// would discard it and every later record at the next restart.
 func writeFrame(w io.Writer, rec *Record) (int, error) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return 0, err
+	}
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("%w: %d-byte record (limit %d)", ErrTooLarge, len(payload), maxRecordBytes)
 	}
 	var hdr [headerBytes]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))

@@ -294,6 +294,196 @@ func TestFsyncError(t *testing.T) {
 	}
 }
 
+// TestOversizeRecordRejected: a record whose encoding exceeds the
+// frame limit is refused BEFORE any byte hits the file — recovery
+// treats oversized frames as a corrupt tail, so writing one would
+// silently discard it and every later record at the next restart.
+func TestOversizeRecordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := admit(1)
+	big.Payload = bytes.Repeat([]byte("x"), maxRecordBytes+1)
+	if err := j.Admit(big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize admit returned %v, want ErrTooLarge", err)
+	}
+	if got := len(j.Pending()); got != 0 {
+		t.Errorf("oversize record entered the pending set (%d entries)", got)
+	}
+	if got := j.Stats().Appended; got != 0 {
+		t.Errorf("oversize record counted as appended (%d)", got)
+	}
+	// The journal stays clean and appendable.
+	if err := j.Admit(admit(2)); err != nil {
+		t.Fatalf("journal wedged after oversize refusal: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Stats().Truncated {
+		t.Error("oversize refusal left a corrupt tail on disk")
+	}
+	if got := len(j2.Pending()); got != 1 {
+		t.Errorf("pending %d after reopen, want 1", got)
+	}
+}
+
+// shortWrite writes a 2-byte prefix of the next frame then fails — a
+// transient ENOSPC mid-append. Embedding *os.File keeps Truncate/Seek
+// visible, so the journal can rewind the torn frame.
+type shortWrite struct {
+	*os.File
+	failNext bool
+}
+
+func (s *shortWrite) Write(b []byte) (int, error) {
+	if s.failNext {
+		s.failNext = false
+		n, _ := s.File.Write(b[:2])
+		return n, errors.New("injected short write")
+	}
+	return s.File.Write(b)
+}
+
+// TestPartialWriteRewound: a failed append that left a torn frame on
+// disk is truncated back to the last good boundary, so later appends
+// never land behind bytes recovery would reject.
+func TestPartialWriteRewound(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	var warned strings.Builder
+	j, err := Open(path, Options{Warn: func(f string, a ...any) {
+		warned.WriteString(f + "\n")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit(admit(1)); err != nil {
+		t.Fatal(err)
+	}
+	j.f = &shortWrite{File: j.f.(*os.File), failNext: true}
+	if err := j.Admit(admit(2)); err == nil {
+		t.Fatal("partial write not surfaced")
+	}
+	if !strings.Contains(warned.String(), "rewound") {
+		t.Errorf("no rewind warning, got %q", warned.String())
+	}
+	if got := len(j.Pending()); got != 1 {
+		t.Errorf("pending %d after failed append, want 1", got)
+	}
+	// The next append lands on the restored good boundary...
+	if err := j.Admit(admit(3)); err != nil {
+		t.Fatalf("journal wedged after rewind: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and recovery sees a clean log: ids 1 and 3, no truncation.
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Stats().Truncated {
+		t.Error("rewound journal recovered as truncated")
+	}
+	pending := j2.Pending()
+	if len(pending) != 2 || pending[0].Admit.ID != 1 || pending[1].Admit.ID != 3 {
+		t.Errorf("pending after reopen = %+v, want ids 1 and 3", pending)
+	}
+}
+
+// opaqueShortWrite fails like shortWrite but hides the underlying
+// file's Truncate/Seek, so the torn frame cannot be rewound.
+type opaqueShortWrite struct {
+	segmentFile
+	failNext bool
+}
+
+func (s *opaqueShortWrite) Write(b []byte) (int, error) {
+	if s.failNext {
+		s.failNext = false
+		n, _ := s.segmentFile.Write(b[:2])
+		return n, errors.New("injected short write")
+	}
+	return s.segmentFile.Write(b)
+}
+
+// TestPartialWriteUnrewindableFailsJournal: when a torn frame cannot
+// be cut away, the journal fails loudly (ErrClosed on every later
+// mutation) instead of appending records recovery would silently drop.
+func TestPartialWriteUnrewindableFailsJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	var warned strings.Builder
+	j, err := Open(path, Options{Warn: func(f string, a ...any) {
+		warned.WriteString(f + "\n")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit(admit(1)); err != nil {
+		t.Fatal(err)
+	}
+	j.f = &opaqueShortWrite{segmentFile: j.f, failNext: true}
+	if err := j.Admit(admit(2)); err == nil {
+		t.Fatal("partial write not surfaced")
+	}
+	if !strings.Contains(warned.String(), "failing journal") {
+		t.Errorf("no failure warning, got %q", warned.String())
+	}
+	if err := j.Admit(admit(3)); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after unrewindable tear returned %v, want ErrClosed", err)
+	}
+	// Recovery truncates the torn tail and keeps the good prefix.
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.Stats().Truncated {
+		t.Error("torn tail not reported on reopen")
+	}
+	if got := len(j2.Pending()); got != 1 {
+		t.Errorf("pending %d after reopen, want the good prefix only", got)
+	}
+}
+
+// TestRecoverLeaseAfterSettle: a lease record appearing after a settle
+// (possible only in a damaged or hand-edited log) must not revert the
+// journaled terminal outcome — Replay would re-execute settled work.
+func TestRecoverLeaseAfterSettle(t *testing.T) {
+	var buf bytes.Buffer
+	for _, rec := range []Record{
+		{Seq: 1, T: 1, State: StateAdmitted, ID: 1, Service: "compute"},
+		{Seq: 2, T: 2, State: StateCompleted, ID: 1, FinishAt: 2, EnergyJ: 5},
+		{Seq: 3, T: 3, State: StateLeased, ID: 1, SED: "lean", Expiry: 99},
+	} {
+		rec := rec
+		if _, err := writeFrame(&buf, &rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := Recover(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(rec.Entries))
+	}
+	if e := rec.Entries[0]; e.State != StateCompleted || e.Final.EnergyJ != 5 {
+		t.Errorf("entry = %+v, want the settled outcome preserved", e)
+	}
+	if inc := rec.Incomplete(); len(inc) != 0 {
+		t.Errorf("incomplete = %+v, want none (stale lease must not resurrect settled work)", inc)
+	}
+}
+
 // TestRotationCompaction drives enough settled lifecycles through a
 // tiny segment limit to force rotation, then checks the compacted
 // file holds only the incomplete entries and folds identically.

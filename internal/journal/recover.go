@@ -136,9 +136,14 @@ func (r *Recovery) fold(index map[uint64]int, rec Record) {
 	e := &r.Entries[i]
 	switch rec.State {
 	case StateLeased:
-		e.State = StateLeased
-		e.SED = rec.SED
-		e.Expiry = rec.Expiry
+		// Never revert a settled entry (possible only in a damaged or
+		// hand-edited log): a journaled terminal outcome must not be
+		// re-executed by Replay.
+		if !e.State.Settled() {
+			e.State = StateLeased
+			e.SED = rec.SED
+			e.Expiry = rec.Expiry
+		}
 	case StateDeferred:
 		if !e.State.Settled() {
 			e.State = StateDeferred

@@ -43,7 +43,9 @@ func (m *Master) Journal() *journal.Journal { return m.jrn }
 
 // journalAdmit journals a request's admission before the interceptor
 // stack runs, so even a request that parks (or crashes) inside an
-// OnSubmit hook is durable. Errors are counted, never fatal.
+// OnSubmit hook is durable. Errors are counted, never fatal. Fsync
+// failures are excluded here — journal.Stats.SyncErrors already counts
+// them, and greensched_journal_errors_total sums both sources.
 func (m *Master) journalAdmit(req Request) {
 	if m.jrn == nil {
 		return
@@ -52,7 +54,7 @@ func (m *Master) journalAdmit(req Request) {
 		ID: req.ID, Service: req.Service, Ops: req.Ops, Pref: float64(req.Pref),
 		Class: req.Class, Deadline: req.Deadline, Value: req.Value,
 		Deferrable: req.Deferrable, Payload: req.Payload, SubmitAt: m.clock(),
-	}); err != nil {
+	}); err != nil && !errors.Is(err, journal.ErrSync) {
 		m.journalErrs.Add(1)
 	}
 }
@@ -63,7 +65,7 @@ func (m *Master) journalLease(id uint64, sed string) {
 	if m.jrn == nil {
 		return
 	}
-	if _, err := m.jrn.Lease(id, sed, m.leaseTermSec); err != nil {
+	if _, err := m.jrn.Lease(id, sed, m.leaseTermSec); err != nil && !errors.Is(err, journal.ErrSync) {
 		m.journalErrs.Add(1)
 	}
 }
@@ -82,7 +84,7 @@ func (m *Master) journalSettle(id uint64, err error, finish, execSec, energyJ fl
 	default:
 		outcome, msg = journal.StateFailed, err.Error()
 	}
-	if jerr := m.jrn.Settle(id, outcome, finish, execSec, energyJ, msg); jerr != nil {
+	if jerr := m.jrn.Settle(id, outcome, finish, execSec, energyJ, msg); jerr != nil && !errors.Is(jerr, journal.ErrSync) {
 		m.journalErrs.Add(1)
 	}
 }
@@ -102,7 +104,8 @@ type ReplayStats struct {
 	// Rebooked counts settled outcomes restored to the books.
 	Rebooked int
 	// Resubmitted counts incomplete requests re-driven through the
-	// full lifecycle.
+	// full lifecycle, including the deferred entries handed to the
+	// background (see Replay — their outcomes land after it returns).
 	Resubmitted int
 	// LeaseExpired counts leases Replay waited out before redoing the
 	// work.
@@ -110,8 +113,10 @@ type ReplayStats struct {
 	// Redone counts leased requests redone successfully on a different
 	// SED.
 	Redone int
-	// Failed counts resubmissions that failed again (a replayed
-	// rejection is not a failure — admission re-screened it).
+	// Failed counts synchronous resubmissions that failed again (a
+	// replayed rejection is not a failure — admission re-screened it).
+	// A background deferred re-submission that fails is journaled and
+	// counted on the master like any failed request, not here.
 	Failed int
 }
 
@@ -124,6 +129,15 @@ type ReplayStats struct {
 // the dead master had leased to a SED is redone only after its lease
 // expires, excluding that SED from the election — the restart
 // generalization of the SED-death-only SubmitWithRetry.
+//
+// Deferred (carbon-parked) entries are re-submitted in the BACKGROUND:
+// a replayed deferrable request re-enters the carbon interceptor,
+// which parks it until the grid window clears — potentially hours —
+// and master startup must not wait behind a green window (nor delay
+// the redo of expired leases, which Replay drives first). The
+// background re-submissions run under ctx and settle onto the books
+// and the journal exactly like first-time traffic; ReplayWait blocks
+// until they drain.
 //
 // Call it once, after NewMaster and before accepting new traffic.
 func (m *Master) Replay(ctx context.Context) (ReplayStats, error) {
@@ -150,7 +164,12 @@ func (m *Master) Replay(ctx context.Context) (ReplayStats, error) {
 		}
 		st.Rebooked++
 	}
+	var deferred []journal.Entry
 	for _, e := range m.jrn.Pending() {
+		if e.State == journal.StateDeferred {
+			deferred = append(deferred, e)
+			continue
+		}
 		req := replayRequest(e)
 		var excluded map[string]bool
 		if e.State == journal.StateLeased {
@@ -178,7 +197,35 @@ func (m *Master) Replay(ctx context.Context) (ReplayStats, error) {
 			st.Failed++
 		}
 	}
+	for _, e := range deferred {
+		st.Resubmitted++
+		m.replays.Add(1)
+		req := replayRequest(e)
+		m.replayWG.Add(1)
+		go func() {
+			defer m.replayWG.Done()
+			m.doWith(ctx, req, nil)
+		}()
+	}
 	return st, nil
+}
+
+// ReplayWait blocks until the background deferred re-submissions the
+// last Replay launched have settled, or ctx ends. An entry still
+// parked when the master shuts down simply stays incomplete in the
+// journal — the next incarnation replays it again.
+func (m *Master) ReplayWait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		m.replayWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+		return nil
+	}
 }
 
 // awaitLeaseExpiry sleeps (on the journal clock) until a journaled

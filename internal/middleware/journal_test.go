@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -196,6 +197,90 @@ func TestJournalReplayKillRestart(t *testing.T) {
 	}
 	if j2.MaxID() <= maxBefore {
 		t.Fatalf("journal max ID %d did not advance past %d — new traffic reused a journaled ID", j2.MaxID(), maxBefore)
+	}
+}
+
+// TestReplayDeferredDoesNotBlockStartup: a deferred entry recovered
+// against a STILL-DIRTY grid re-parks in the carbon interceptor — in
+// the background. Replay (and so master startup) must return without
+// waiting out the window; ReplayWait drains the park once it clears.
+func TestReplayDeferredDoesNotBlockStartup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j1, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Admit(journal.Record{ID: 3, Service: "burn", Ops: 1e6, Pref: 0.5, Deferrable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Defer(3); err != nil {
+		t.Fatal(err)
+	}
+	j1.Abandon()
+
+	j2, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var dirty atomic.Bool
+	dirty.Store(true)
+	m, err := NewMaster(
+		WithPolicy(sched.New(sched.LeastLoaded)),
+		WithSEDs(newSED(t, "sed", 2, 1e9, 100)),
+		WithJournal(j2),
+		WithInterceptors(&CarbonInterceptor{
+			Func: func() (float64, bool) {
+				if dirty.Load() {
+					return 1000, true
+				}
+				return 0, true
+			},
+			DirtyG: 100, MaxDeferSec: 300, PollSec: 0.005,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	st, err := m.Replay(context.Background())
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("Replay blocked %v behind a dirty grid", took)
+	}
+	if st.Resubmitted != 1 || st.Failed != 0 {
+		t.Fatalf("replay stats = %+v, want 1 background resubmission", st)
+	}
+
+	// The replayed request is parked behind the dirty window, its
+	// lifecycle still incomplete in the journal.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Deferred().Parked == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.Deferred().Parked; got != 1 {
+		t.Fatalf("parked = %d, want the replayed deferrable re-parked", got)
+	}
+	if got := len(j2.Pending()); got != 1 {
+		t.Fatalf("pending during park = %d, want 1", got)
+	}
+
+	// The window clears: the background replay settles and drains.
+	dirty.Store(false)
+	wctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.ReplayWait(wctx); err != nil {
+		t.Fatalf("ReplayWait: %v", err)
+	}
+	if got := len(j2.Pending()); got != 0 {
+		t.Fatalf("pending after drain = %d, want 0", got)
+	}
+	res := m.Finalize()
+	if res.Completed != 1 || res.Failed != 0 {
+		t.Fatalf("result = %+v, want the deferred replay completed", res)
 	}
 }
 

@@ -49,6 +49,9 @@ type Master struct {
 	replays       atomic.Int64
 	leaseExpiries atomic.Int64
 	redone        atomic.Int64
+	// replayWG tracks the background deferred re-submissions Replay
+	// launches; ReplayWait drains it.
+	replayWG sync.WaitGroup
 
 	// energyBits is the running joule total as math.Float64bits — a
 	// CAS loop instead of a mutex, so thousands of concurrent
