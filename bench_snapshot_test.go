@@ -10,10 +10,13 @@
 // (so the snapshot prices the tracing overhead explicitly), and
 // BenchmarkLiveMasterConcurrent/ConcurrentTCP drive the same path from
 // many parallel clients, in-process and across the gob wire.
+// BenchmarkLiveMasterJournaled prices the crash-safe dispatch WAL and
+// BenchmarkLiveMasterExternalPower prices routing every power reading
+// through an out-of-process powerd sidecar.
 //
 // TestBenchSnapshot (gated behind BENCH_SNAPSHOT=1 so regular `go
 // test` stays fast) runs them via testing.Benchmark and writes
-// BENCH_9.json: ns/op and allocs/op for the sim paths and req/s for
+// BENCH_10.json: ns/op and allocs/op for the sim paths and req/s for
 // the live paths. Re-run with
 //
 //	BENCH_SNAPSHOT=1 go test -run TestBenchSnapshot -count=1 .
@@ -38,6 +41,8 @@ import (
 	"greensched/internal/journal"
 	"greensched/internal/middleware"
 	"greensched/internal/obs"
+	"greensched/internal/power"
+	"greensched/internal/powerd"
 	"greensched/internal/sched"
 	"greensched/internal/sim"
 	"greensched/internal/workload"
@@ -337,6 +342,75 @@ func BenchmarkLiveMasterJournaled(b *testing.B) {
 	}
 }
 
+// BenchmarkLiveMasterExternalPower is BenchmarkLiveMasterThroughput
+// with every power reading routed through an out-of-process powerd
+// sidecar on a unix socket instead of an in-process meter: each solve
+// window polls the sidecar over the wire (JSON line protocol, one
+// exchange per reading). The gap to the unjournaled in-process number
+// is the all-in price of out-of-process estimation — dominated by the
+// socket round-trip, as it should be.
+func BenchmarkLiveMasterExternalPower(b *testing.B) {
+	addr := "unix:" + filepath.Join(b.TempDir(), "powerd.sock")
+	srv, err := powerd.Serve(addr, power.StaticSource{"lean": 60, "hungry": 400}, powerd.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := powerd.NewClient(powerd.Config{Addr: addr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	sedFor := func(name string) *middleware.SED {
+		sed, err := middleware.NewSED(middleware.SEDConfig{
+			Name:  name,
+			Slots: 4,
+			Interceptors: []middleware.Interceptor{
+				&middleware.ExternalPowerInterceptor{Source: cli},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sed.Register(middleware.Service{
+			Name:  "compute",
+			Solve: func(ctx context.Context, req middleware.Request) ([]byte, error) { return nil, nil },
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return sed
+	}
+	master, err := middleware.NewMaster(
+		middleware.WithPolicy(sched.New(sched.GreenPerf)),
+		middleware.WithSEDs(sedFor("lean"), sedFor("hungry")),
+		middleware.WithInterceptors(&middleware.ObsInterceptor{Registry: obs.NewRegistry()}),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := master.Do(ctx, middleware.Request{Service: "compute", Ops: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := master.Do(ctx, middleware.Request{Service: "compute", Ops: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	if res := master.Finalize(); res.Completed != b.N+8 {
+		b.Fatalf("ledger counted %d of %d requests", res.Completed, b.N+8)
+	}
+	if st := cli.Stats(); st.Fallbacks != 0 || st.BreakerOpen {
+		b.Fatalf("bench fell back to local curves, the number is not a sidecar number: %+v", st)
+	}
+}
+
 // BenchmarkLiveMasterConcurrent is the parallel-client counterpart of
 // BenchmarkLiveMasterThroughput: GOMAXPROCS goroutines hammer one
 // master's Do concurrently. With the agent snapshot, CAS energy
@@ -438,7 +512,7 @@ func BenchmarkLiveMasterConcurrentTCP(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
-// benchSnapshotEntry mirrors one benchmark record in BENCH_9.json.
+// benchSnapshotEntry mirrors one benchmark record in BENCH_10.json.
 type benchSnapshotEntry struct {
 	NsPerOp     int64              `json:"ns_per_op"`
 	AllocsPerOp int64              `json:"allocs_per_op"`
@@ -446,7 +520,7 @@ type benchSnapshotEntry struct {
 	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
-// benchSnapshot mirrors the committed BENCH_9.json layout.
+// benchSnapshot mirrors the committed BENCH_10.json layout.
 type benchSnapshot struct {
 	Go      string                        `json:"go"`
 	Benches map[string]benchSnapshotEntry `json:"benches"`
@@ -454,7 +528,7 @@ type benchSnapshot struct {
 
 // TestBenchDelta is the CI bench-delta gate (BENCH_DELTA=1): it runs
 // BenchmarkSimHotPath live and fails when ns/op or allocs/op regress
-// more than 25% against the committed BENCH_9.json. allocs/op is
+// more than 25% against the committed BENCH_10.json. allocs/op is
 // deterministic, so that bound catches real regressions exactly;
 // ns/op is noisier on shared runners, which is why the tolerance is a
 // wide 25% rather than a tight SLO — the gate exists to catch
@@ -463,17 +537,17 @@ func TestBenchDelta(t *testing.T) {
 	if os.Getenv("BENCH_DELTA") == "" {
 		t.Skip("set BENCH_DELTA=1 to run the bench-delta gate")
 	}
-	data, err := os.ReadFile("BENCH_9.json")
+	data, err := os.ReadFile("BENCH_10.json")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var snap benchSnapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
-		t.Fatalf("parse BENCH_9.json: %v", err)
+		t.Fatalf("parse BENCH_10.json: %v", err)
 	}
 	base, ok := snap.Benches["BenchmarkSimHotPath"]
 	if !ok {
-		t.Fatal("BENCH_9.json has no BenchmarkSimHotPath entry")
+		t.Fatal("BENCH_10.json has no BenchmarkSimHotPath entry")
 	}
 	const tolerance = 1.25
 	r := testing.Benchmark(BenchmarkSimHotPath)
@@ -487,11 +561,11 @@ func TestBenchDelta(t *testing.T) {
 	}
 }
 
-// TestBenchSnapshot writes BENCH_9.json — the perf snapshot CI and
+// TestBenchSnapshot writes BENCH_10.json — the perf snapshot CI and
 // future PRs diff against. Gated so the tier-1 test run stays cheap.
 func TestBenchSnapshot(t *testing.T) {
 	if os.Getenv("BENCH_SNAPSHOT") == "" {
-		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_9.json")
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_10.json")
 	}
 	snap := benchSnapshot{Go: runtime.Version(), Benches: map[string]benchSnapshotEntry{}}
 
@@ -502,6 +576,7 @@ func TestBenchSnapshot(t *testing.T) {
 		"BenchmarkLiveMasterThroughput":      BenchmarkLiveMasterThroughput,
 		"BenchmarkLiveMasterSpansThroughput": BenchmarkLiveMasterSpansThroughput,
 		"BenchmarkLiveMasterJournaled":       BenchmarkLiveMasterJournaled,
+		"BenchmarkLiveMasterExternalPower":   BenchmarkLiveMasterExternalPower,
 		"BenchmarkLiveMasterConcurrent":      BenchmarkLiveMasterConcurrent,
 		"BenchmarkLiveMasterConcurrentTCP":   BenchmarkLiveMasterConcurrentTCP,
 	} {
@@ -519,8 +594,8 @@ func TestBenchSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_9.json", append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile("BENCH_10.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote BENCH_9.json:\n%s", data)
+	t.Logf("wrote BENCH_10.json:\n%s", data)
 }

@@ -9,6 +9,7 @@
 //	greensched preempt   [-seed N]             express-boot vs checkpoint/restart preemption study
 //	greensched scenario  [-seed N]             composed module stack: carbon + SLA + preemption + budget in one run
 //	greensched live                            composed LIVE middleware interceptor demo (in-process + TCP)
+//	greensched powerd [-listen A] [-trace F]   reference power-estimation sidecar (powerd line protocol)
 //	greensched durable [DIR]                   kill/restart drill: journaled master, lease redo, exact books
 //	greensched journal FILE                    inspect a dispatch journal: counts, incomplete set, torn tail
 //	greensched spans FILE [-check]             per-stage latency + critical path of a span JSONL stream
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -29,6 +31,8 @@ import (
 	"greensched/internal/experiments"
 	"greensched/internal/journal"
 	"greensched/internal/obs"
+	"greensched/internal/power"
+	"greensched/internal/powerd"
 	"greensched/internal/sched"
 	"greensched/internal/sim"
 	"greensched/internal/trace"
@@ -60,18 +64,20 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "deterministic simulation seed")
 	static := fs.Bool("static", false, "use the static (initial benchmark) estimation approach instead of dynamic learning")
 	csvDir := fs.String("csv", "", "also export figure data as CSV files into this directory")
-	traceFile := fs.String("trace", "", "replay: submission trace file to read; live/scenario: lifecycle JSONL file to write")
+	traceFile := fs.String("trace", "", "replay: submission trace file to read; live/scenario: lifecycle JSONL file to write; powerd: node,t,watts power CSV to replay")
 	seeds := fs.Int("seeds", 10, "replicate: number of independent seeds")
 	policyName := fs.String("policy", "GREENPERF", "replay: scheduling policy (RANDOM|POWER|PERFORMANCE|GREENPERF|LEASTLOADED|CARBON|RENEWABLE)")
 	days := fs.Int("days", 2, "carbon: scenario length in days")
 	burst := fs.Int("burst", 0, "carbon: deferrable tasks per evening burst (0 = default)")
 	metricsAddr := fs.String("metrics", "", "live: serve Prometheus-style /metrics (and pprof) on this host:port for the study's fleet telemetry")
-	holdSec := fs.Float64("hold", 0, "live: keep the -metrics endpoint up this many seconds after the study finishes (for external scrapers)")
+	holdSec := fs.Float64("hold", 0, "live: keep the -metrics endpoint up this many seconds after the study finishes; powerd: serve this many seconds then exit (0 = until interrupted)")
 	spansFile := fs.String("spans", "", "live: write per-request span trees to this JSONL file; spans: (unused, pass the file as the argument)")
 	check := fs.Bool("check", false, "spans: exit non-zero when any trace fails to parse or misses a canonical stage")
 	tasks := fs.Int("tasks", 0, "scenario/live: rescale the task mix to roughly this many tasks total (0 = calibrated default)")
 	concurrency := fs.Int("concurrency", 0, "live: bound each master's in-flight admissions (0 = unbounded)")
 	journalFile := fs.String("journal", "", "live: append each master's crash-safe dispatch journal under this path prefix")
+	listenAddr := fs.String("listen", "127.0.0.1:0", "powerd: serve the power protocol on this address (unix:/path or host:port)")
+	powerAddr := fs.String("power", "", "live: read per-node power from a powerd sidecar at this address instead of local meters")
 	if err := fs.Parse(args[1:]); err != nil {
 		return errUsage
 	}
@@ -98,7 +104,9 @@ func run(args []string, out io.Writer) error {
 	case "scenario":
 		return runScenario(out, *seed, *traceFile, *tasks)
 	case "live":
-		return runLive(out, *metricsAddr, *traceFile, *spansFile, *journalFile, *holdSec, *tasks, *concurrency)
+		return runLive(out, *metricsAddr, *traceFile, *spansFile, *journalFile, *powerAddr, *holdSec, *tasks, *concurrency)
+	case "powerd":
+		return runPowerd(out, *listenAddr, *traceFile, *holdSec)
 	case "durable":
 		dir := ""
 		if fs.NArg() > 0 {
@@ -236,11 +244,15 @@ func runSpans(out io.Writer, path string, check bool) error {
 // they turn the demo into a load generator for the concurrent master.
 // -journal mounts a crash-safe dispatch journal under each master and
 // leaves the .wal files behind for `greensched journal`.
-func runLive(out io.Writer, metricsAddr, traceFile, spansFile, journalFile string, holdSec float64, tasks, concurrency int) error {
+// -power routes every power reading through an external powerd sidecar
+// (start one with 'greensched powerd'); if the sidecar dies mid-study
+// the stack trips to the built-in analytic curves and keeps electing.
+func runLive(out io.Writer, metricsAddr, traceFile, spansFile, journalFile, powerAddr string, holdSec float64, tasks, concurrency int) error {
 	cfg := experiments.DefaultLiveComposedConfig()
 	cfg.ScaleTasks(tasks)
 	cfg.Concurrency = concurrency
 	cfg.JournalPath = journalFile
+	cfg.PowerAddr = powerAddr
 	var srv *obs.Server
 	if metricsAddr != "" {
 		cfg.Registry = obs.NewRegistry()
@@ -288,6 +300,57 @@ func runLive(out io.Writer, metricsAddr, traceFile, spansFile, journalFile strin
 		fmt.Fprintf(out, "\nholding the metrics endpoint for %.0fs (http://%s/metrics)\n", holdSec, srv.Addr())
 		time.Sleep(time.Duration(holdSec * float64(time.Second)))
 	}
+	return nil
+}
+
+// runPowerd runs the reference power-estimation sidecar: it answers
+// the powerd line protocol (one JSON object per line, protocol v1) on
+// -listen until -hold seconds elapse (0 = until interrupted). The
+// default model serves the Table I analytic curves evaluated at the
+// caller-reported utilization, with a generic lean-server curve for
+// nodes outside the catalog; -trace replaces it with a recorded
+// "node,t,watts" CSV replayed against the caller's clock. Point a
+// scheduler at it with 'greensched live -power ADDR'.
+func runPowerd(out io.Writer, listen, traceFile string, holdSec float64) error {
+	var src power.Source
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		m, err := powerd.ParseTraceCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "replaying %d traced nodes from %s\n", len(m.Nodes()), traceFile)
+		src = m
+	} else {
+		curves := power.CurveSource{
+			Nodes:   make(map[string]power.Model),
+			Default: power.LinearModel{IdleW: 100, PeakW: 250, ActivationW: 10, BootW: 125, OffW: 8},
+		}
+		for _, n := range cluster.PaperPlatform().Nodes {
+			curves.Nodes[n.Name] = n.PowerModel()
+		}
+		src = curves
+	}
+	srv, err := powerd.Serve(listen, src, powerd.Options{})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(out, "powerd: serving power protocol v%d on %s (model %s)\n",
+		powerd.ProtocolVersion, srv.Addr(), srv.Model())
+	if holdSec > 0 {
+		time.Sleep(time.Duration(holdSec * float64(time.Second)))
+	} else {
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt)
+		defer signal.Stop(stop)
+		<-stop
+	}
+	fmt.Fprintf(out, "powerd: answered %d requests\n", srv.Requests())
 	return nil
 }
 
@@ -543,6 +606,8 @@ commands:
   scenario    composed module stack: carbon + SLA + preemption + budget in one run
   live        composed LIVE middleware: SLA + carbon + budget interceptors over
               in-process and TCP transports (wall clock, no seed)
+  powerd      reference power-estimation sidecar: serves the powerd line
+              protocol on -listen (analytic curves, or -trace CSV replay)
   durable [DIR]  kill/restart drill: a journaled master dies mid-run, the next
               incarnation replays the journal and redoes the orphaned lease —
               books byte-equal to an uninterrupted control run
@@ -561,10 +626,16 @@ flags:
   -static     placement / replicate: static estimation ablation
   -csv DIR    also export figure data as CSV files
   -metrics A  live only: serve /metrics and /debug/pprof on host:port A
-  -hold N     live only: keep the -metrics endpoint up N seconds after the study
+  -hold N     live: keep the -metrics endpoint up N seconds after the study;
+              powerd: serve N seconds then exit (0 = until interrupted)
   -trace F    replay: read the submission trace from F;
-              live/scenario: write lifecycle events to F as JSONL
+              live/scenario: write lifecycle events to F as JSONL;
+              powerd: replay a node,t,watts power CSV instead of curves
   -spans F    live only: write per-request span trees to F as JSONL
+  -power A    live only: read per-node power from a powerd sidecar at A,
+              falling back to the built-in curves when it is unreachable
+  -listen A   powerd only: serve on A — unix:/path or host:port
+              (default 127.0.0.1:0)
   -check      spans only: fail when a trace misses a canonical lifecycle stage
   -tasks N    scenario/live: rescale the task mix to roughly N tasks total
   -concurrency N  live only: bound each master's in-flight admissions

@@ -5,9 +5,13 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"greensched/internal/cluster"
 	"greensched/internal/journal"
 	"greensched/internal/obs"
+	"greensched/internal/power"
+	"greensched/internal/powerd"
 )
 
 // TestCarbonCommandSmoke runs the carbon study end-to-end through the
@@ -423,6 +427,146 @@ func TestDurableCommandSmoke(t *testing.T) {
 	}
 }
 
+// powerdHold starts `greensched powerd` through the dispatch in a
+// goroutine (held up by -hold) and returns a channel carrying its exit
+// error. The builder must not be read before the channel delivers.
+func powerdHold(args []string, b *strings.Builder) <-chan error {
+	done := make(chan error, 1)
+	go func() { done <- run(args, b) }()
+	return done
+}
+
+// awaitReading polls the client until the sidecar answers, failing the
+// test if it never comes up.
+func awaitReading(t *testing.T, cli *powerd.Client, node string, metrics []string, values []float64) power.Watts {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if w, ok := cli.NodePowerW(node, metrics, values); ok {
+			return w
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("sidecar never answered for node %s", node)
+	return 0
+}
+
+// TestPowerdCommandSmoke starts the reference sidecar through the CLI
+// dispatch on a unix socket, completes a live protocol exchange against
+// the default analytic-curve model while -hold keeps it serving, and
+// checks the banner and exit report.
+func TestPowerdCommandSmoke(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "powerd.sock")
+	var b strings.Builder
+	done := powerdHold([]string{"powerd", "-listen", "unix:" + sock, "-hold", "1.5"}, &b)
+
+	cli, err := powerd.NewClient(powerd.Config{Addr: "unix:" + sock, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	got := awaitReading(t, cli, "taurus-0", []string{power.MetricUtil}, []float64{0.5})
+	spec, ok := cluster.Spec("taurus")
+	if !ok {
+		t.Fatal("no taurus in the catalog")
+	}
+	if want := spec.PowerModel().Power(power.On, 0.5); got != want {
+		t.Errorf("taurus-0 at util 0.5: got %v W, want %v W", got, want)
+	}
+	// A node outside Table I is served by the generic default curve.
+	if w := awaitReading(t, cli, "lean", []string{power.MetricUtil}, []float64{0}); w != 100 {
+		t.Errorf("unknown node idle draw: got %v W, want the generic 100 W", w)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"serving power protocol v1", "unix:" + sock, "(model curve)", "powerd: answered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPowerdCommandTrace serves a recorded node,t,watts CSV through the
+// dispatch: time-keyed lookups answer with the traced figures and the
+// banner names the trace model.
+func TestPowerdCommandTrace(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "power.csv")
+	csv := "node,t,watts\nlean,0,80\nlean,10,91\nhungry,0,320\n"
+	if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(dir, "powerd.sock")
+	var b strings.Builder
+	done := powerdHold([]string{"powerd", "-listen", "unix:" + sock, "-trace", csvPath, "-hold", "1.5"}, &b)
+
+	cli, err := powerd.NewClient(powerd.Config{Addr: "unix:" + sock, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if w := awaitReading(t, cli, "lean", []string{power.MetricTime}, []float64{5}); w != 80 {
+		t.Errorf("lean at t=5: got %v W, want the traced 80 W", w)
+	}
+	if w := awaitReading(t, cli, "lean", []string{power.MetricTime}, []float64{12}); w != 91 {
+		t.Errorf("lean at t=12: got %v W, want the traced 91 W", w)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"replaying 2 traced nodes", "(model trace)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPowerdCommandErrors pins the failure paths: an unlistenable
+// address and a missing trace file both fail before serving.
+func TestPowerdCommandErrors(t *testing.T) {
+	var b strings.Builder
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "powerd.sock")
+	if err := run([]string{"powerd", "-listen", "unix:" + bad, "-hold", "0.01"}, &b); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+	missing := filepath.Join(t.TempDir(), "nope.csv")
+	if err := run([]string{"powerd", "-trace", missing, "-hold", "0.01"}, &b); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+// TestLiveCommandExternalPower points the live study at a powerd
+// sidecar through -power: the per-transport report lines carry the
+// sidecar request counts with zero fallbacks, and the sidecar actually
+// answered on the wire.
+func TestLiveCommandExternalPower(t *testing.T) {
+	addr := "unix:" + filepath.Join(t.TempDir(), "powerd.sock")
+	srv, err := powerd.Serve(addr, power.StaticSource{"lean": 80, "hungry": 320}, powerd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var b strings.Builder
+	if err := run([]string{"live", "-power", addr}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"external power", "0 fallbacks (breaker open: false)", "LIVE serving path"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if srv.Requests() == 0 {
+		t.Error("sidecar never queried over the wire")
+	}
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a
@@ -459,7 +603,7 @@ func TestUsageListsScenarioCommand(t *testing.T) {
 	if err := run([]string{"help"}, &b); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"scenario", "carbon + SLA + preemption + budget", "live", "interceptors over", "durable", "journal FILE", "-journal F"} {
+	for _, want := range []string{"scenario", "carbon + SLA + preemption + budget", "live", "interceptors over", "durable", "journal FILE", "-journal F", "powerd", "power-estimation sidecar", "-power A", "-listen A"} {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("usage text missing %q:\n%s", want, b.String())
 		}

@@ -44,6 +44,17 @@
 //	                        Master.Replay folds it back into exactly-once
 //	                        books after a crash, redoing expired leases
 //	                        on a surviving SED
+//	internal/powerd         out-of-process power estimation: a versioned
+//	                        JSON line protocol over unix/TCP sockets, a
+//	                        reference sidecar (powerd.Serve, `greensched
+//	                        powerd`) wrapping any power.Source, a
+//	                        trace-replay model, and a fault-tolerant
+//	                        client (timeout, retry, last-good cache,
+//	                        circuit breaker, loud fallback to the
+//	                        analytic curves); both substrates mount it —
+//	                        middleware.ExternalPowerInterceptor on the
+//	                        live path, sim.ExternalPowerModule in the
+//	                        simulator
 //	internal/simtime        virtual-time event engine (the kernel's heap)
 //	internal/carbon         grid carbon-intensity signals, site profiles
 //	                        and the joules→grams integrator

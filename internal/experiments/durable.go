@@ -451,7 +451,7 @@ func durableSEDs(cfg DurableConfig, sig *liveStepSignal, release <-chan struct{}
 		{"lean", cfg.LeanFlops, cfg.LeanWatts},
 		{"hungry", cfg.HungryFlops, cfg.HungryWatts},
 	} {
-		sed, err := liveSED(spec.name, spec.flops, spec.watts, sig, nil)
+		sed, err := liveSED(spec.name, spec.flops, spec.watts, sig, nil, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -13,6 +13,8 @@ import (
 	"greensched/internal/journal"
 	"greensched/internal/middleware"
 	"greensched/internal/obs"
+	"greensched/internal/power"
+	"greensched/internal/powerd"
 	"greensched/internal/report"
 	"greensched/internal/sched"
 	"greensched/internal/sla"
@@ -110,6 +112,16 @@ type LiveComposedConfig struct {
 	// `greensched journal FILE`; with Registry also set, the
 	// greensched_journal_* metrics appear on /metrics.
 	JournalPath string
+
+	// PowerAddr, when set, routes every power reading through an
+	// external powerd sidecar at this address ("unix:/path" or
+	// "host:port"): the SEDs mount ExternalPowerInterceptor instead of
+	// a local meter, the master attributes from sidecar readings, and
+	// with Registry set the greensched_power_* families appear on
+	// /metrics. The client falls back to the config's static watt
+	// figures if the sidecar is unreachable, so a dead sidecar slows
+	// nothing down — it just shows up in the fallback counters.
+	PowerAddr string
 }
 
 // DefaultLiveComposedConfig returns the calibrated sub-second
@@ -280,6 +292,9 @@ type LiveComposedRun struct {
 	Result middleware.LiveResult
 	// ExpectedEarnedUSD is the dollar total implied by the request mix.
 	ExpectedEarnedUSD float64
+	// PowerStats is the sidecar client's counter snapshot when
+	// Config.PowerAddr routed power through a powerd sidecar.
+	PowerStats *powerd.Stats
 }
 
 // LiveComposedResult bundles the compared transports.
@@ -316,14 +331,21 @@ func RunLiveComposedStudy(cfg LiveComposedConfig) (*LiveComposedResult, error) {
 }
 
 // liveSED builds one metered, carbon-tagged SED whose service sleeps
-// ops/flops.
-func liveSED(name string, flops, watts float64, sig carbon.Signal, spans *obs.SpanWriter) (*middleware.SED, error) {
+// ops/flops. With a power source set, the SED reads the external
+// sidecar instead of a local constant-watt meter.
+func liveSED(name string, flops, watts float64, sig carbon.Signal, spans *obs.SpanWriter, src power.Source) (*middleware.SED, error) {
+	meter := middleware.Interceptor(&middleware.MeterInterceptor{
+		Meter: func() (float64, bool) { return watts, true },
+	})
+	if src != nil {
+		meter = &middleware.ExternalPowerInterceptor{Source: src}
+	}
 	sed, err := middleware.NewSED(middleware.SEDConfig{
 		Name:  name,
 		Slots: 2,
 		Spans: spans,
 		Interceptors: []middleware.Interceptor{
-			&middleware.MeterInterceptor{Meter: func() (float64, bool) { return watts, true }},
+			meter,
 			&middleware.CarbonInterceptor{Signal: sig},
 		},
 	})
@@ -349,11 +371,30 @@ func runLiveComposed(cfg LiveComposedConfig, transport string) (LiveComposedRun,
 	if cfg.SpanW != nil {
 		spans = obs.NewSpanWriter(cfg.SpanW)
 	}
-	lean, err := liveSED("lean", cfg.LeanFlops, cfg.LeanWatts, sig, spans)
+	// Optional external power: one sidecar client per transport run,
+	// falling back to the config's static watt figures when the
+	// sidecar is unreachable.
+	var powerCli *powerd.Client
+	if cfg.PowerAddr != "" {
+		var err error
+		powerCli, err = powerd.NewClient(powerd.Config{
+			Addr:     cfg.PowerAddr,
+			Fallback: power.StaticSource{"lean": cfg.LeanWatts, "hungry": cfg.HungryWatts},
+		})
+		if err != nil {
+			return LiveComposedRun{}, err
+		}
+		defer powerCli.Close()
+	}
+	var powerSrc power.Source
+	if powerCli != nil {
+		powerSrc = powerCli
+	}
+	lean, err := liveSED("lean", cfg.LeanFlops, cfg.LeanWatts, sig, spans, powerSrc)
 	if err != nil {
 		return LiveComposedRun{}, err
 	}
-	hungry, err := liveSED("hungry", cfg.HungryFlops, cfg.HungryWatts, sig, spans)
+	hungry, err := liveSED("hungry", cfg.HungryFlops, cfg.HungryWatts, sig, spans, powerSrc)
 	if err != nil {
 		return LiveComposedRun{}, err
 	}
@@ -391,6 +432,13 @@ func runLiveComposed(cfg LiveComposedConfig, transport string) (LiveComposedRun,
 			Tracer: tracer,
 		},
 		&middleware.BudgetInterceptor{Tracker: tracker},
+	}
+	if powerCli != nil {
+		ics = append(ics, &middleware.ExternalPowerInterceptor{
+			Source:   powerCli,
+			Registry: cfg.Registry,
+			Labels:   map[string]string{"transport": transportLabel(transport)},
+		})
 	}
 	if cfg.Registry != nil || tracer != nil {
 		ics = append([]middleware.Interceptor{&middleware.ObsInterceptor{
@@ -498,11 +546,16 @@ func runLiveComposed(cfg LiveComposedConfig, transport string) (LiveComposedRun,
 	}
 
 	res := master.Finalize()
-	return LiveComposedRun{
+	run := LiveComposedRun{
 		Transport:         transport,
 		Result:            *res,
 		ExpectedEarnedUSD: cfg.ExpectedEarnedUSD(),
-	}, nil
+	}
+	if powerCli != nil {
+		st := powerCli.Stats()
+		run.PowerStats = &st
+	}
+	return run, nil
 }
 
 // sleepSolve pretends to compute by sleeping ops/flops.
@@ -556,6 +609,12 @@ func (r *LiveComposedResult) Render(w io.Writer) error {
 		fmt.Fprintf(w, "\n%s ledger (expected $%.2f):\n", run.Transport, run.ExpectedEarnedUSD)
 		if err := run.Result.SLA.Render(w); err != nil {
 			return err
+		}
+	}
+	for _, run := range r.Runs {
+		if st := run.PowerStats; st != nil {
+			fmt.Fprintf(w, "\n%s external power: %d sidecar requests, %d errors, %d fallbacks (breaker open: %v)\n",
+				run.Transport, st.Requests, st.Errors, st.Fallbacks, st.BreakerOpen)
 		}
 	}
 	fmt.Fprintf(w, "\nSLA admission, the revenue ledger, carbon-window deferral and budget metering all ran on the LIVE serving path, identically over %s and %s transports\n",

@@ -4,6 +4,10 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"greensched/internal/obs"
+	"greensched/internal/power"
+	"greensched/internal/powerd"
 )
 
 // TestLiveComposedStudy is the acceptance test for the live
@@ -120,5 +124,69 @@ func TestLiveComposedConfigValidation(t *testing.T) {
 		if _, err := RunLiveComposedStudy(cfg); err == nil {
 			t.Errorf("%s: invalid config accepted", name)
 		}
+	}
+}
+
+// TestLiveComposedStudyExternalPower: with PowerAddr set, the whole
+// study runs its power readings through a powerd sidecar on both
+// transports — the books still balance to the cent, no fallback fires
+// while the sidecar is healthy, and the greensched_power_* families
+// land on the shared registry.
+func TestLiveComposedStudyExternalPower(t *testing.T) {
+	addr := "unix:" + t.TempDir() + "/powerd.sock"
+	srv, err := powerd.Serve(addr, power.StaticSource{"lean": 80, "hungry": 320}, powerd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cfg := DefaultLiveComposedConfig()
+	cfg.DirtyWindowSec = 0.2
+	cfg.PollSec = 0.01
+	cfg.Ops = 2e6
+	cfg.PowerAddr = addr
+	cfg.Registry = obs.NewRegistry()
+
+	res, err := RunLiveComposedStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, transport := range []string{LiveTransportInProcess, LiveTransportTCP} {
+		run, ok := res.Run(transport)
+		if !ok {
+			t.Fatalf("no %s run", transport)
+		}
+		if run.Result.SLA == nil || math.Abs(run.Result.SLA.EarnedUSD-run.ExpectedEarnedUSD) > 1e-9 {
+			t.Errorf("%s: ledger off under external power: %+v", transport, run.Result.SLA)
+		}
+		st := run.PowerStats
+		if st == nil {
+			t.Fatalf("%s: no power stats surfaced", transport)
+		}
+		if st.Requests == 0 {
+			t.Errorf("%s: sidecar never queried", transport)
+		}
+		if st.Fallbacks != 0 || st.BreakerOpen {
+			t.Errorf("%s: healthy sidecar run fell back: %+v", transport, st)
+		}
+	}
+	var sb strings.Builder
+	if err := cfg.Registry.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		`greensched_power_requests_total{transport="in-process"}`,
+		`greensched_power_requests_total{transport="tcp"}`,
+		`greensched_power_watts{transport="tcp",node="lean"} 80`,
+	} {
+		if !strings.Contains(sb.String(), family) {
+			t.Errorf("missing %q on the shared registry:\n%s", family, sb.String())
+		}
+	}
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "external power") {
+		t.Error("Render does not mention the external power stats")
 	}
 }

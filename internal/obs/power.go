@@ -1,0 +1,76 @@
+package obs
+
+import "sort"
+
+// PowerMetrics is the greensched_power_* exposition family set — the
+// observability surface of the external power estimation path (the
+// powerd sidecar protocol). The middleware's ExternalPowerInterceptor
+// registers one per master mount and refreshes it at scrape time from
+// the client's counters; the setters take plain values so this package
+// stays below the protocol packages in the dependency order.
+//
+// Registration is idempotent the same way every Registry family is:
+// two mounts sharing a Registry and label keys reuse the same
+// families, split per mount by label values.
+type PowerMetrics struct {
+	Requests  Counter // greensched_power_requests_total
+	Errors    Counter // greensched_power_errors_total
+	Fallbacks Counter // greensched_power_fallbacks_total
+
+	Staleness Gauge // greensched_power_staleness_seconds
+	Breaker   Gauge // greensched_power_breaker_open
+
+	watts *GaugeVec // greensched_power_watts, labelled (labels..., node)
+	vals  []string
+}
+
+// NewPowerMetrics registers the power families on reg with the given
+// constant labels (same key-set discipline as ObsInterceptor.Labels).
+func NewPowerMetrics(reg *Registry, labels map[string]string) *PowerMetrics {
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	vals := make([]string, len(names))
+	for i, k := range names {
+		vals[i] = labels[k]
+	}
+	m := &PowerMetrics{vals: vals}
+	m.Requests = reg.CounterVec("greensched_power_requests_total",
+		"Requests sent to the external power sidecar (per attempt).", names...).With(vals...)
+	m.Errors = reg.CounterVec("greensched_power_errors_total",
+		"Sidecar requests that failed (transport, protocol or application errors).", names...).With(vals...)
+	m.Fallbacks = reg.CounterVec("greensched_power_fallbacks_total",
+		"Readings served from the built-in analytic curves because the sidecar was unavailable or stale.", names...).With(vals...)
+	m.Staleness = reg.GaugeVec("greensched_power_staleness_seconds",
+		"Age of the freshest cached sidecar reading (-1 before the first success).", names...).With(vals...)
+	m.Breaker = reg.GaugeVec("greensched_power_breaker_open",
+		"1 while the sidecar circuit breaker is open (readings come from fallback curves).", names...).With(vals...)
+	m.watts = reg.GaugeVec("greensched_power_watts",
+		"Last sidecar power reading per node.", append(append([]string{}, names...), "node")...)
+	return m
+}
+
+// SetCounters folds absolute counter snapshots in (monotone delta, the
+// same idiom the journal families use for scrape-time snapshots).
+func (m *PowerMetrics) SetCounters(requests, errors, fallbacks float64) {
+	m.Requests.Add(requests - m.Requests.Value())
+	m.Errors.Add(errors - m.Errors.Value())
+	m.Fallbacks.Add(fallbacks - m.Fallbacks.Value())
+}
+
+// SetState publishes the breaker state and cache freshness.
+func (m *PowerMetrics) SetState(breakerOpen bool, stalenessSec float64) {
+	if breakerOpen {
+		m.Breaker.Set(1)
+	} else {
+		m.Breaker.Set(0)
+	}
+	m.Staleness.Set(stalenessSec)
+}
+
+// SetNodeWatts publishes one node's last reading.
+func (m *PowerMetrics) SetNodeWatts(node string, w float64) {
+	m.watts.With(append(append([]string{}, m.vals...), node)...).Set(w)
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPowerMetricsRenderGolden locks the greensched_power_* exposition
+// byte for byte — the family set the external power estimation path
+// publishes (sidecar request/error/fallback counters, breaker state,
+// cache freshness and the per-node watts gauge).
+func TestPowerMetricsRenderGolden(t *testing.T) {
+	reg := NewRegistry()
+	m := NewPowerMetrics(reg, map[string]string{"transport": "tcp"})
+	m.SetCounters(12, 3, 2)
+	m.SetState(true, 1.5)
+	m.SetNodeWatts("lean", 80)
+	m.SetNodeWatts("hungry", 320)
+	// A second snapshot must fold in as a monotone delta, not a sum.
+	m.SetCounters(15, 3, 2)
+	m.SetState(false, 0.25)
+
+	var sb strings.Builder
+	if err := reg.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP greensched_power_breaker_open 1 while the sidecar circuit breaker is open (readings come from fallback curves).
+# TYPE greensched_power_breaker_open gauge
+greensched_power_breaker_open{transport="tcp"} 0
+# HELP greensched_power_errors_total Sidecar requests that failed (transport, protocol or application errors).
+# TYPE greensched_power_errors_total counter
+greensched_power_errors_total{transport="tcp"} 3
+# HELP greensched_power_fallbacks_total Readings served from the built-in analytic curves because the sidecar was unavailable or stale.
+# TYPE greensched_power_fallbacks_total counter
+greensched_power_fallbacks_total{transport="tcp"} 2
+# HELP greensched_power_requests_total Requests sent to the external power sidecar (per attempt).
+# TYPE greensched_power_requests_total counter
+greensched_power_requests_total{transport="tcp"} 15
+# HELP greensched_power_staleness_seconds Age of the freshest cached sidecar reading (-1 before the first success).
+# TYPE greensched_power_staleness_seconds gauge
+greensched_power_staleness_seconds{transport="tcp"} 0.25
+# HELP greensched_power_watts Last sidecar power reading per node.
+# TYPE greensched_power_watts gauge
+greensched_power_watts{transport="tcp",node="hungry"} 320
+greensched_power_watts{transport="tcp",node="lean"} 80
+`
+	if got := sb.String(); got != want {
+		t.Errorf("rendered exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPowerMetricsIdempotentRegistration: two mounts sharing a
+// Registry must land on the same families without a panic, split by
+// label values.
+func TestPowerMetricsIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := NewPowerMetrics(reg, map[string]string{"transport": "tcp"})
+	b := NewPowerMetrics(reg, map[string]string{"transport": "inproc"})
+	a.SetCounters(1, 0, 0)
+	b.SetCounters(2, 0, 0)
+	var sb strings.Builder
+	if err := reg.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`greensched_power_requests_total{transport="inproc"} 2`,
+		`greensched_power_requests_total{transport="tcp"} 1`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+	if strings.Count(out, "# TYPE greensched_power_requests_total counter") != 1 {
+		t.Errorf("family registered twice:\n%s", out)
+	}
+}

@@ -1,0 +1,74 @@
+// Package powerd is the out-of-process power estimation protocol: a
+// versioned JSON line protocol over a unix-domain or TCP socket,
+// through which per-node power readings come from an external sidecar
+// (learned models, RAPL readers, GPU meters) instead of the built-in
+// analytic curves — the Kepler architecture applied to the paper's
+// §III-A dynamic estimation.
+//
+// One request per line, one response per line:
+//
+//	→ {"v":1,"node":"lean","metrics":["util"],"values":[0.5]}
+//	← {"v":1,"watts":182.5,"model":"curve"}
+//
+// A response with a non-empty msg is an application-level error (node
+// unknown to the model, malformed request); the connection stays up. A
+// request with an empty node is a liveness probe: the server answers
+// with its version and model and no watts.
+//
+// Serve wraps any power.Source as a sidecar; Client is the consuming
+// half — a concurrency-safe power.Source with request timeouts,
+// bounded retry, last-good caching and a circuit breaker that trips to
+// a local fallback and re-probes in the background.
+package powerd
+
+import "strings"
+
+// ProtocolVersion is the wire version both halves stamp on every
+// message. A mismatch is an error on the client and a msg-carrying
+// response from the server: neither side guesses across versions.
+const ProtocolVersion = 1
+
+// PowerRequest asks the sidecar for one node's current draw. Metrics
+// and Values are parallel slices describing the caller's operating
+// point (power.MetricUtil, power.MetricTime, ...); servers ignore
+// metrics they don't understand.
+type PowerRequest struct {
+	V       int       `json:"v"`
+	Node    string    `json:"node"`
+	Metrics []string  `json:"metrics,omitempty"`
+	Values  []float64 `json:"values,omitempty"`
+}
+
+// PowerResponse is the sidecar's answer: the node's estimated draw and
+// the name of the model that produced it. A non-empty Msg marks an
+// application-level error (Watts is then meaningless).
+type PowerResponse struct {
+	V     int     `json:"v"`
+	Watts float64 `json:"watts"`
+	Model string  `json:"model,omitempty"`
+	Msg   string  `json:"msg,omitempty"`
+}
+
+// maxLine bounds one protocol line on both halves — a malformed peer
+// cannot make the other side buffer without bound.
+const maxLine = 1 << 20
+
+// SplitAddr resolves a powerd address string to a (network, address)
+// pair for net.Dial/net.Listen:
+//
+//	"unix:/run/powerd.sock"  → ("unix", "/run/powerd.sock")
+//	"tcp:127.0.0.1:9371"     → ("tcp", "127.0.0.1:9371")
+//	"/run/powerd.sock"       → ("unix", ...)   (contains a slash)
+//	"127.0.0.1:9371"         → ("tcp", ...)
+func SplitAddr(addr string) (network, address string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", strings.TrimPrefix(addr, "tcp:")
+	case strings.Contains(addr, "/"):
+		return "unix", addr
+	default:
+		return "tcp", addr
+	}
+}

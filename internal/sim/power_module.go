@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"fmt"
+
+	"greensched/internal/power"
+)
+
+// ExternalPowerModule replays an external power estimator into the
+// simulation — the sim substrate of the powerd sidecar protocol. Every
+// node's estimation vector gets its power tag (and the green-perf
+// ratio derived from it) overridden by the Source's reading for that
+// node, keyed on virtual time, so a recorded estimator stream
+// (powerd.TraceModel, typically loaded with powerd.ParseTraceCSV)
+// steers elections exactly as the live sidecar would — and exactly the
+// same way on every run: the lookup is time-keyed, the engine's clock
+// is deterministic, so two runs of one config are bit-identical.
+//
+// Nodes the source has no reading for keep their built-in estimates
+// (moving-average estimator or static calibration), mirroring the live
+// client's graceful fallback.
+type ExternalPowerModule struct {
+	BaseModule
+
+	// Source supplies per-node watts; required. It is queried with the
+	// node name and a single power.MetricTime metric carrying virtual
+	// seconds.
+	Source power.Source
+}
+
+// Init implements Module: it attaches the source to every node's
+// estimation path.
+func (m *ExternalPowerModule) Init(r *Runner) error {
+	if m.Source == nil {
+		return fmt.Errorf("sim: external power module needs a power source")
+	}
+	for _, sed := range r.seds {
+		if sed.extPower != nil {
+			return fmt.Errorf("sim: node %s already carries an external power source (two external power modules in one stack?)", sed.node.Spec.Name)
+		}
+		sed.extPower = m.Source
+	}
+	return nil
+}
